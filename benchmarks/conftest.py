@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper against the
+standard (memoised) dataset, prints the reproduced rows so they can be read
+next to the paper, and records the wall-clock cost of the analysis itself
+(dataset construction is paid once per session and benchmarked separately in
+``test_bench_pipeline.py``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data.dataset import StudyDataset, default_dataset
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment
+
+#: Where each benchmark writes the reproduced table for later inspection.
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def dataset() -> StudyDataset:
+    """The standard study dataset, built once per benchmark session."""
+    return default_dataset()
+
+
+@pytest.fixture(scope="session")
+def run_experiment(dataset):
+    """Return a helper that benchmarks one experiment and prints its table."""
+
+    def runner(benchmark, experiment_id: str) -> ExperimentResult:
+        experiment = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            experiment.run, args=(dataset,), rounds=1, iterations=1, warmup_rounds=0
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+        return result
+
+    return runner

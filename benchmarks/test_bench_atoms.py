@@ -1,0 +1,16 @@
+"""Benchmark: the policy-atom extension experiment.
+
+Shape expectation (after Afek et al., whose findings the paper says its
+export-policy results explain): atoms group multiple prefixes, and almost
+every atom contains prefixes of a single origin AS.
+"""
+
+
+def test_bench_atoms(benchmark, run_experiment):
+    result = run_experiment(benchmark, "atoms")
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["policy atoms"] > 0
+    assert values["prefixes covered"] >= values["policy atoms"]
+    assert float(values["average atom size"]) >= 1.0
+    single_origin_fraction = float(values["single-origin atom fraction"].rstrip("%"))
+    assert single_origin_fraction > 90.0

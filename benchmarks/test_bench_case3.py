@@ -1,0 +1,16 @@
+"""Benchmark: reproduce the Section 5.1.5 Case 3 analysis.
+
+Paper shape: most SA prefixes can be classified from the collector's paths,
+and for the majority of them the customer does *not* announce the prefix to
+the studied provider's customer branch (79% in the paper).
+"""
+
+
+def test_bench_case3(benchmark, run_experiment):
+    result = run_experiment(benchmark, "case3")
+    assert result.rows
+    identified = [float(row[2].rstrip("%")) for row in result.rows]
+    not_exported = [float(row[4].rstrip("%")) for row in result.rows]
+    exported = [float(row[3].rstrip("%")) for row in result.rows]
+    assert sum(identified) / len(identified) > 60.0
+    assert sum(not_exported) > sum(exported)

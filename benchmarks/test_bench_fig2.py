@@ -1,0 +1,16 @@
+"""Benchmark: reproduce Figure 2 (LOCAL_PREF / next-hop consistency).
+
+Paper shape: LOCAL_PREF is keyed on the next-hop AS for close to all prefixes
+— both across the 14 Looking Glass ASes (Fig. 2a) and across the 30 backbone
+routers of one large AS (Fig. 2b).
+"""
+
+
+def test_bench_fig2(benchmark, run_experiment):
+    result = run_experiment(benchmark, "fig2")
+    fig2a = [float(row[-1].rstrip("%")) for row in result.rows if row[0] == "fig2a"]
+    fig2b = [float(row[-1].rstrip("%")) for row in result.rows if row[0] == "fig2b"]
+    assert fig2a and fig2b
+    assert len(fig2b) == 30
+    assert sum(fig2a) / len(fig2a) > 90.0
+    assert sum(fig2b) / len(fig2b) > 85.0

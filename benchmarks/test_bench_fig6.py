@@ -1,0 +1,18 @@
+"""Benchmark: reproduce Figure 6 (persistence of SA prefixes).
+
+Paper shape: SA prefixes are consistently present across the 31 daily
+snapshots and across the intra-day snapshots.
+"""
+
+
+def test_bench_fig6(benchmark, run_experiment):
+    result = run_experiment(benchmark, "fig6")
+    daily = [row for row in result.rows if row[0].startswith("fig6a")]
+    intra_day = [row for row in result.rows if row[0].startswith("fig6b")]
+    assert len(daily) == 31
+    assert len(intra_day) == 12
+    # SA prefixes present in (nearly) every snapshot.
+    daily_with_sa = sum(1 for row in daily if row[3] > 0)
+    assert daily_with_sa >= len(daily) - 2
+    for row in result.rows:
+        assert 0 <= row[3] <= row[2]

@@ -1,0 +1,20 @@
+"""Benchmark: reproduce Figure 7 (SA -> non-SA shifting by uptime).
+
+Paper shape: a majority of ever-SA prefixes remain SA over the whole period
+(about one sixth shift to non-SA over a month, fewer within one day), and
+most prefixes have full uptime.
+"""
+
+
+def test_bench_fig7(benchmark, run_experiment):
+    result = run_experiment(benchmark, "fig7")
+    daily = [row for row in result.rows if row[0].startswith("fig7a")]
+    assert daily
+    total_remaining = sum(row[2] for row in daily)
+    total_shifting = sum(row[3] for row in daily)
+    assert total_remaining + total_shifting > 0
+    assert total_remaining > total_shifting
+    # The bulk of the SA population sits at the maximum uptime, as in Fig. 7.
+    max_uptime = max(row[1] for row in daily)
+    at_max = sum(row[2] + row[3] for row in daily if row[1] == max_uptime)
+    assert at_max >= 0.5 * (total_remaining + total_shifting)

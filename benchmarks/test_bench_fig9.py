@@ -1,0 +1,19 @@
+"""Benchmark: reproduce Figure 9 (prefix counts per next-hop AS).
+
+Paper shape: for an AS with a provider, one next-hop AS announces (nearly)
+the full table — a large gap above everyone else; for provider-free ASes the
+curve is dominated by peers at the top and 1-2 prefix customers in the tail.
+"""
+
+
+def test_bench_fig9(benchmark, run_experiment):
+    result = run_experiment(benchmark, "fig9")
+    by_view = {}
+    for view, has_providers, rank, neighbor, count in result.rows:
+        by_view.setdefault((view, has_providers), []).append(count)
+    assert len(by_view) >= 2
+    for (view, has_providers), counts in by_view.items():
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] <= 10  # the tail announces only a handful of prefixes
+        if has_providers == "yes":
+            assert counts[0] >= 5 * max(1, counts[len(counts) // 2])

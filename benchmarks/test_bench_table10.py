@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Table 10 (peers announcing their prefixes directly).
+
+Paper shape: most peers (86%-100%) announce their own prefixes directly over
+the peer link.
+"""
+
+
+def test_bench_table10(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table10")
+    percentages = [float(row[2].rstrip("%")) for row in result.rows]
+    assert percentages
+    assert min(percentages) > 50.0
+    assert sum(percentages) / len(percentages) > 75.0

@@ -1,0 +1,16 @@
+"""Benchmark: reproduce Table 11 (relationship-tagging community plan).
+
+Paper shape: a tagging AS uses disjoint community ranges for customers,
+peers and providers; the inferred semantics recover the published meaning.
+"""
+
+
+def test_bench_table11(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table11")
+    assert len(result.rows) == 3
+    published = [row[1] for row in result.rows]
+    assert {"route received from peer", "route received from provider",
+            "route received from customer"} == set(published)
+    inferred = [row[2] for row in result.rows]
+    matching = sum(1 for pub, inf in zip(published, inferred) if pub == inf)
+    assert matching >= 2

@@ -1,0 +1,17 @@
+"""Benchmark: reproduce Table 2 (typical LOCAL_PREF from BGP tables).
+
+Paper shape: every Looking Glass AS assigns typical LOCAL_PREF for the vast
+majority of prefixes (94.3%-100%).
+"""
+
+
+def test_bench_table2(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table2")
+    percentages = [float(row[-1].rstrip("%")) for row in result.rows]
+    assert percentages
+    # A couple of Looking Glass ASes are configured with atypical policies by
+    # design (the paper's Table 2 also bottoms out at 94.3%); the population
+    # as a whole must be overwhelmingly typical.
+    assert min(percentages) > 60.0
+    assert sum(percentages) / len(percentages) > 90.0
+    assert sorted(percentages)[len(percentages) // 2] > 93.0

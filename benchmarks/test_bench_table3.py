@@ -1,0 +1,12 @@
+"""Benchmark: reproduce Table 3 (typical LOCAL_PREF from the IRR).
+
+Paper shape: the registered ASes' import preferences are overwhelmingly
+typical (80%-100%, most at or near 100%).
+"""
+
+
+def test_bench_table3(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table3")
+    percentages = [float(row[-1].rstrip("%")) for row in result.rows]
+    assert len(percentages) >= 10
+    assert sum(percentages) / len(percentages) > 90.0

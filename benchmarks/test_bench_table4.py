@@ -1,0 +1,12 @@
+"""Benchmark: reproduce Table 4 (relationships verified via communities).
+
+Paper shape: 94.1%-99.55% of each tagging AS's neighbor relationships are
+verified against the inferred relationships.
+"""
+
+
+def test_bench_table4(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table4")
+    percentages = [float(row[-1].rstrip("%")) for row in result.rows]
+    assert percentages
+    assert sum(percentages) / len(percentages) > 90.0

@@ -1,0 +1,16 @@
+"""Benchmark: reproduce Table 5 (percentage of SA prefixes per provider).
+
+Paper shape: SA prefixes are prevalent but a minority — between 0% and ~49%
+of customer prefixes per provider, with the big Tier-1s in the tens of
+percent.
+"""
+
+
+def test_bench_table5(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table5")
+    percentages = [float(row[-1].rstrip("%")) for row in result.rows]
+    assert percentages
+    assert max(percentages) > 3.0, "expected a significant number of SA prefixes"
+    assert max(percentages) < 60.0, "SA prefixes should remain a minority"
+    tier1_rows = [row for row in result.rows if row[1] == "yes"]
+    assert any(row[3] > 0 for row in tier1_rows), "Tier-1s should observe SA prefixes"

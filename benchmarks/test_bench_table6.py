@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Table 6 (per-customer SA prefixes).
+
+Paper shape: for customers sitting under all three studied providers, a
+substantial share of their prefixes (17%-97%) are selectively announced.
+"""
+
+
+def test_bench_table6(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table6")
+    assert result.rows
+    for row in result.rows:
+        assert 0 <= row[2] <= row[1]
+    assert any(row[2] > 0 for row in result.rows)

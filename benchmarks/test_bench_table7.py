@@ -1,0 +1,14 @@
+"""Benchmark: reproduce Table 7 (SA prefixes verified).
+
+Paper shape: the overwhelming majority (95%-97.6%) of the studied providers'
+SA prefixes pass the two-step verification.
+"""
+
+
+def test_bench_table7(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table7")
+    percentages = [float(row[-1].rstrip("%")) for row in result.rows]
+    assert percentages
+    total_sa = sum(row[1] for row in result.rows)
+    assert total_sa > 0
+    assert sum(percentages) / len(percentages) > 80.0

@@ -1,0 +1,13 @@
+"""Benchmark: reproduce Table 8 (multihomed vs single-homed SA origins).
+
+Paper shape: about three quarters of the ASes whose prefixes are SA prefixes
+are multihomed.
+"""
+
+
+def test_bench_table8(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table8")
+    total_multi = sum(row[1] for row in result.rows)
+    total_single = sum(row[2] for row in result.rows)
+    assert total_multi + total_single > 0
+    assert total_multi > total_single

@@ -1,0 +1,16 @@
+"""Benchmark: reproduce Table 9 (splitting / aggregating vs selective announcing).
+
+Paper shape: prefix splitting and aggregation explain only a small fraction
+of SA prefixes; selective announcing is the dominant cause.
+"""
+
+
+def test_bench_table9(benchmark, run_experiment):
+    result = run_experiment(benchmark, "table9")
+    total_sa = sum(row[1] for row in result.rows)
+    total_split = sum(row[2] for row in result.rows)
+    total_agg = sum(row[3] for row in result.rows)
+    total_selective = sum(row[4] for row in result.rows)
+    assert total_sa > 0
+    assert total_selective > total_split + total_agg
+    assert total_selective / total_sa > 0.5

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets both ``pip install -e .`` (via the legacy code path)
+and ``python setup.py develop`` work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of Wang & Gao, "On Inferring and Characterizing
+Internet Routing Policies" (IMC 2003).
+
+The package is organised bottom-up:
+
+* :mod:`repro.net` — prefixes, AS paths, radix trie, address allocation.
+* :mod:`repro.bgp` — route attributes, RIBs, the decision process, the
+  route-map/prefix-list policy engine and Cisco-style configuration.
+* :mod:`repro.topology` — the annotated AS graph and the synthetic Internet
+  generator.
+* :mod:`repro.relationships` — AS-relationship inference baselines (Gao
+  ToN'01 and a rank-based variant).
+* :mod:`repro.simulation` — policy-aware BGP route propagation, collectors
+  (RouteViews-style and Looking Glass), and multi-snapshot timelines.
+* :mod:`repro.data` — on-disk formats (MRT-style dumps, ``show ip bgp`` text,
+  RPSL/IRR) and dataset assembly.
+* :mod:`repro.core` — the paper's contribution: import-policy inference,
+  SA-prefix (export-policy) inference, verification, cause attribution,
+  persistence, peer-export and community-based relationship verification.
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.reporting` — ASCII tables and series used by the experiments.
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    ASPathError,
+    ConfigError,
+    DataFormatError,
+    ExperimentError,
+    InferenceError,
+    PolicyError,
+    PrefixError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+__all__ = [
+    "ASPathError",
+    "ConfigError",
+    "DataFormatError",
+    "ExperimentError",
+    "InferenceError",
+    "PolicyError",
+    "PrefixError",
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "__version__",
+]

@@ -1,0 +1,358 @@
+"""Cisco-IOS-flavoured BGP configuration model, renderer and parser.
+
+The paper's import-policy examples are IOS configuration snippets::
+
+    router bgp 65503
+     neighbor 192.1.250.23 remote-as 65504
+     neighbor 192.1.250.23 route-map isp1 in
+    access-list 1 permit 0.0.0.0 255.255.255.255
+    route-map isp1 permit
+     match ip address 1
+     set local-preference 90
+
+:class:`BgpConfig` models that configuration surface.  The synthetic
+Internet's per-AS policies can be rendered to this text form (so the dataset
+looks like something an operator would recognise) and parsed back, and the
+import-policy inference can be validated against the parsed configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.policy import (
+    AccessList,
+    MatchCondition,
+    PolicyAction,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+    SetActions,
+)
+from repro.exceptions import ConfigError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix, format_ipv4
+
+
+@dataclass
+class NeighborConfig:
+    """Configuration of one BGP neighbor.
+
+    Attributes:
+        address: the neighbor's peering address (dotted quad).
+        remote_as: the neighbor's AS number.
+        route_map_in: name of the inbound route-map, if any.
+        route_map_out: name of the outbound route-map, if any.
+        description: free-form description (often the relationship).
+    """
+
+    address: str
+    remote_as: ASN
+    route_map_in: str | None = None
+    route_map_out: str | None = None
+    description: str | None = None
+
+
+@dataclass
+class BgpConfig:
+    """A ``router bgp`` stanza plus the lists and route-maps it references."""
+
+    local_as: ASN
+    neighbors: dict[str, NeighborConfig] = field(default_factory=dict)
+    networks: list[Prefix] = field(default_factory=list)
+    route_maps: dict[str, RouteMap] = field(default_factory=dict)
+    prefix_lists: dict[str, PrefixList] = field(default_factory=dict)
+    access_lists: dict[str, AccessList] = field(default_factory=dict)
+
+    # -- construction helpers --------------------------------------------------
+
+    def add_neighbor(self, neighbor: NeighborConfig) -> "BgpConfig":
+        """Register a neighbor (returns self for chaining)."""
+        self.neighbors[neighbor.address] = neighbor
+        return self
+
+    def add_network(self, prefix: Prefix | str) -> "BgpConfig":
+        """Add a locally originated network statement."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.networks.append(prefix)
+        return self
+
+    def add_route_map(self, route_map: RouteMap) -> "BgpConfig":
+        """Register a route-map (and the lists its clauses reference)."""
+        self.route_maps[route_map.name] = route_map
+        for clause in route_map.clauses:
+            if clause.match.prefix_list is not None:
+                self.prefix_lists[clause.match.prefix_list.name] = clause.match.prefix_list
+            if clause.match.access_list is not None:
+                self.access_lists[clause.match.access_list.name] = clause.match.access_list
+        return self
+
+    def inbound_route_map(self, neighbor_address: str) -> RouteMap | None:
+        """Return the inbound route-map configured for a neighbor, if any."""
+        neighbor = self.neighbors.get(neighbor_address)
+        if neighbor is None or neighbor.route_map_in is None:
+            return None
+        return self.route_maps.get(neighbor.route_map_in)
+
+    def neighbor_by_as(self, remote_as: ASN) -> NeighborConfig | None:
+        """Return the first neighbor with the given remote AS, if any."""
+        for neighbor in self.neighbors.values():
+            if neighbor.remote_as == remote_as:
+                return neighbor
+        return None
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the configuration in IOS-like text form."""
+        lines: list[str] = [f"router bgp {self.local_as}"]
+        for prefix in self.networks:
+            lines.append(f" network {format_ipv4(prefix.network)} mask {format_ipv4(prefix.mask)}")
+        for neighbor in self.neighbors.values():
+            lines.append(f" neighbor {neighbor.address} remote-as {neighbor.remote_as}")
+            if neighbor.description:
+                lines.append(f" neighbor {neighbor.address} description {neighbor.description}")
+            if neighbor.route_map_in:
+                lines.append(f" neighbor {neighbor.address} route-map {neighbor.route_map_in} in")
+            if neighbor.route_map_out:
+                lines.append(f" neighbor {neighbor.address} route-map {neighbor.route_map_out} out")
+        lines.append("!")
+        for access_list in self.access_lists.values():
+            for action, address, wildcard in access_list.entries:
+                lines.append(
+                    f"access-list {access_list.name} {action} "
+                    f"{format_ipv4(address)} {format_ipv4(wildcard)}"
+                )
+        for prefix_list in self.prefix_lists.values():
+            for index, entry in enumerate(prefix_list.entries, start=1):
+                suffix = ""
+                if entry.ge is not None:
+                    suffix += f" ge {entry.ge}"
+                if entry.le is not None:
+                    suffix += f" le {entry.le}"
+                lines.append(
+                    f"ip prefix-list {prefix_list.name} seq {index * 5} "
+                    f"{entry.action} {entry.prefix}{suffix}"
+                )
+        lines.append("!")
+        for route_map in self.route_maps.values():
+            for clause in route_map.clauses:
+                lines.append(f"route-map {route_map.name} {clause.action} {clause.sequence}")
+                lines.extend(self._render_clause_body(clause))
+        lines.append("!")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_clause_body(clause: RouteMapClause) -> list[str]:
+        lines: list[str] = []
+        match = clause.match
+        if match.access_list is not None:
+            lines.append(f" match ip address {match.access_list.name}")
+        if match.prefix_list is not None:
+            lines.append(f" match ip address prefix-list {match.prefix_list.name}")
+        if match.community_list is not None:
+            lines.append(f" match community {match.community_list.name}")
+        if match.next_hop_as is not None:
+            lines.append(f" match as-path neighbor {match.next_hop_as}")
+        actions = clause.set_actions
+        if actions.local_pref is not None:
+            lines.append(f" set local-preference {actions.local_pref}")
+        if actions.med is not None:
+            lines.append(f" set metric {actions.med}")
+        if actions.prepend is not None:
+            asn, count = actions.prepend
+            lines.append(" set as-path prepend " + " ".join([str(asn)] * count))
+        if actions.add_communities:
+            rendered = " ".join(str(c) for c in actions.add_communities)
+            lines.append(f" set community {rendered} additive")
+        return lines
+
+    # -- parsing -----------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "BgpConfig":
+        """Parse IOS-like configuration text produced by :meth:`render`.
+
+        The parser accepts the subset of IOS syntax the paper's examples use;
+        unknown lines raise :class:`~repro.exceptions.ConfigError` so silent
+        misconfiguration cannot slip into experiments.
+        """
+        config: BgpConfig | None = None
+        current_route_map: RouteMap | None = None
+        current_clause: RouteMapClause | None = None
+        prefix_lists: dict[str, PrefixList] = {}
+        access_lists: dict[str, AccessList] = {}
+
+        for raw_line in text.splitlines():
+            line = raw_line.rstrip()
+            stripped = line.strip()
+            if not stripped or stripped == "!":
+                continue
+            tokens = stripped.split()
+            if tokens[0] == "router" and tokens[1] == "bgp":
+                config = cls(local_as=int(tokens[2]))
+                current_route_map = None
+                current_clause = None
+            elif tokens[0] == "neighbor":
+                if config is None:
+                    raise ConfigError("neighbor statement before 'router bgp'")
+                cls._parse_neighbor_line(config, tokens)
+            elif tokens[0] == "network":
+                if config is None:
+                    raise ConfigError("network statement before 'router bgp'")
+                prefix = cls._parse_network_line(tokens)
+                config.networks.append(prefix)
+            elif tokens[0] == "access-list":
+                name = tokens[1]
+                access = access_lists.setdefault(name, AccessList(name=name))
+                action = PolicyAction(tokens[2])
+                if action is PolicyAction.PERMIT:
+                    access.permit(tokens[3], tokens[4])
+                else:
+                    access.deny(tokens[3], tokens[4])
+            elif tokens[0] == "ip" and tokens[1] == "prefix-list":
+                cls._parse_prefix_list_line(prefix_lists, tokens)
+            elif tokens[0] == "route-map":
+                name = tokens[1]
+                action = PolicyAction(tokens[2])
+                sequence = int(tokens[3]) if len(tokens) > 3 else 10
+                if config is None:
+                    raise ConfigError("route-map statement before 'router bgp'")
+                current_route_map = config.route_maps.setdefault(name, RouteMap(name=name))
+                current_clause = RouteMapClause(action=action, sequence=sequence)
+                current_route_map.add_clause(current_clause)
+            elif tokens[0] == "match":
+                if current_clause is None:
+                    raise ConfigError(f"match outside route-map clause: {stripped!r}")
+                cls._parse_match_line(current_clause, tokens, prefix_lists, access_lists)
+            elif tokens[0] == "set":
+                if current_clause is None:
+                    raise ConfigError(f"set outside route-map clause: {stripped!r}")
+                cls._parse_set_line(current_clause, tokens)
+            else:
+                raise ConfigError(f"unrecognised configuration line: {stripped!r}")
+
+        if config is None:
+            raise ConfigError("configuration contains no 'router bgp' stanza")
+        config.prefix_lists.update(prefix_lists)
+        config.access_lists.update(access_lists)
+        return config
+
+    @staticmethod
+    def _parse_neighbor_line(config: "BgpConfig", tokens: list[str]) -> None:
+        address = tokens[1]
+        neighbor = config.neighbors.setdefault(
+            address, NeighborConfig(address=address, remote_as=0)
+        )
+        if tokens[2] == "remote-as":
+            neighbor.remote_as = int(tokens[3])
+        elif tokens[2] == "description":
+            neighbor.description = " ".join(tokens[3:])
+        elif tokens[2] == "route-map":
+            if tokens[4] == "in":
+                neighbor.route_map_in = tokens[3]
+            elif tokens[4] == "out":
+                neighbor.route_map_out = tokens[3]
+            else:
+                raise ConfigError(f"bad route-map direction: {tokens[4]!r}")
+        else:
+            raise ConfigError(f"unrecognised neighbor option: {tokens[2]!r}")
+
+    @staticmethod
+    def _parse_network_line(tokens: list[str]) -> Prefix:
+        from repro.net.prefix import parse_ipv4
+
+        address = parse_ipv4(tokens[1])
+        if len(tokens) >= 4 and tokens[2] == "mask":
+            mask = parse_ipv4(tokens[3])
+            length = bin(mask).count("1")
+        else:
+            length = 24
+        return Prefix(address, length)
+
+    @staticmethod
+    def _parse_prefix_list_line(prefix_lists: dict[str, PrefixList], tokens: list[str]) -> None:
+        # ip prefix-list NAME [seq N] permit|deny PREFIX [ge N] [le N]
+        name = tokens[2]
+        rest = tokens[3:]
+        if rest and rest[0] == "seq":
+            rest = rest[2:]
+        action = PolicyAction(rest[0])
+        prefix = Prefix.parse(rest[1])
+        ge = le = None
+        remainder = rest[2:]
+        while remainder:
+            if remainder[0] == "ge":
+                ge = int(remainder[1])
+            elif remainder[0] == "le":
+                le = int(remainder[1])
+            else:
+                raise ConfigError(f"bad prefix-list suffix: {' '.join(remainder)!r}")
+            remainder = remainder[2:]
+        plist = prefix_lists.setdefault(name, PrefixList(name=name))
+        if action is PolicyAction.PERMIT:
+            plist.permit(prefix, ge=ge, le=le)
+        else:
+            plist.deny(prefix, ge=ge, le=le)
+
+    @staticmethod
+    def _parse_match_line(
+        clause: RouteMapClause,
+        tokens: list[str],
+        prefix_lists: dict[str, PrefixList],
+        access_lists: dict[str, AccessList],
+    ) -> None:
+        if tokens[1] == "ip" and tokens[2] == "address":
+            if tokens[3] == "prefix-list":
+                name = tokens[4]
+                clause.match.prefix_list = prefix_lists.setdefault(name, PrefixList(name=name))
+            else:
+                name = tokens[3]
+                clause.match.access_list = access_lists.setdefault(name, AccessList(name=name))
+        elif tokens[1] == "as-path" and tokens[2] == "neighbor":
+            clause.match.next_hop_as = int(tokens[3])
+        elif tokens[1] == "community":
+            from repro.bgp.policy import CommunityList
+
+            clause.match.community_list = CommunityList(name=tokens[2])
+        else:
+            raise ConfigError(f"unrecognised match: {' '.join(tokens)!r}")
+
+    @staticmethod
+    def _parse_set_line(clause: RouteMapClause, tokens: list[str]) -> None:
+        from repro.bgp.attributes import Community
+
+        if tokens[1] == "local-preference":
+            clause.set_actions.local_pref = int(tokens[2])
+        elif tokens[1] == "metric":
+            clause.set_actions.med = int(tokens[2])
+        elif tokens[1] == "as-path" and tokens[2] == "prepend":
+            asns = [int(token) for token in tokens[3:]]
+            clause.set_actions.prepend = (asns[0], len(asns))
+        elif tokens[1] == "community":
+            values = [token for token in tokens[2:] if token != "additive"]
+            clause.set_actions.add_communities = tuple(
+                Community.parse(value) for value in values
+            )
+        else:
+            raise ConfigError(f"unrecognised set action: {' '.join(tokens)!r}")
+
+
+def example_import_config() -> BgpConfig:
+    """Recreate the exact configuration shown in the paper (Section 2.2.1).
+
+    Useful in tests and documentation: AS65503 peers with AS65504 and sets
+    LOCAL_PREF 90 on every route received from it.
+    """
+    access = AccessList(name="1").permit("0.0.0.0", "255.255.255.255")
+    route_map = RouteMap(name="isp1").permit(
+        match=MatchCondition(access_list=access),
+        set_actions=SetActions(local_pref=90),
+    )
+    config = BgpConfig(local_as=65503)
+    config.add_neighbor(
+        NeighborConfig(address="192.1.250.23", remote_as=65504, route_map_in="isp1")
+    )
+    config.add_route_map(route_map)
+    return config

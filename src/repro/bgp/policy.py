@@ -1,0 +1,379 @@
+"""Import/export policy engine: prefix-lists, access-lists, community-lists
+and route-maps.
+
+The paper's configuration examples (Section 2.2.1) are expressed in Cisco IOS
+terms::
+
+    access-list 1 permit 0.0.0.0 255.255.255.255
+    route-map isp1 permit
+      match ip address 1
+      set local-preference 90
+
+    ip prefix-list 1 permit 10.1.1.1/24
+    route-map isp1 permit
+      match ip address prefix-list 1
+      set local-preference 80
+
+This module models those constructs directly so that (a) the synthetic
+Internet can be *configured* the way operators configure routers, and (b) the
+import-policy inference can be validated against the configuration that
+produced the tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.bgp.attributes import Community, CommunitySet, WellKnownCommunity
+from repro.bgp.route import Route
+from repro.exceptions import PolicyError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+
+
+class PolicyAction(enum.Enum):
+    """Whether a matching route is permitted or denied."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# Match lists
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrefixListEntry:
+    """One ``ip prefix-list`` entry.
+
+    ``ge``/``le`` extend the match to more-specific prefixes the way IOS
+    does; when both are ``None`` only the exact prefix matches.
+    """
+
+    action: PolicyAction
+    prefix: Prefix
+    ge: int | None = None
+    le: int | None = None
+
+    def matches(self, candidate: Prefix) -> bool:
+        """Return ``True`` if the candidate prefix matches this entry."""
+        if self.ge is None and self.le is None:
+            return candidate == self.prefix
+        if not self.prefix.contains(candidate):
+            return False
+        lower = self.ge if self.ge is not None else self.prefix.length
+        upper = self.le if self.le is not None else 32
+        return lower <= candidate.length <= upper
+
+
+@dataclass
+class PrefixList:
+    """An ordered ``ip prefix-list``; first matching entry wins."""
+
+    name: str
+    entries: list[PrefixListEntry] = field(default_factory=list)
+
+    def permit(self, prefix: Prefix | str, ge: int | None = None, le: int | None = None) -> "PrefixList":
+        """Append a permit entry (returns self for chaining)."""
+        return self._append(PolicyAction.PERMIT, prefix, ge, le)
+
+    def deny(self, prefix: Prefix | str, ge: int | None = None, le: int | None = None) -> "PrefixList":
+        """Append a deny entry (returns self for chaining)."""
+        return self._append(PolicyAction.DENY, prefix, ge, le)
+
+    def _append(
+        self, action: PolicyAction, prefix: Prefix | str, ge: int | None, le: int | None
+    ) -> "PrefixList":
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.entries.append(PrefixListEntry(action, prefix, ge, le))
+        return self
+
+    def evaluate(self, prefix: Prefix) -> PolicyAction:
+        """Return the action of the first matching entry (implicit deny)."""
+        for entry in self.entries:
+            if entry.matches(prefix):
+                return entry.action
+        return PolicyAction.DENY
+
+    def permits(self, prefix: Prefix) -> bool:
+        """Return ``True`` if the prefix is permitted."""
+        return self.evaluate(prefix) is PolicyAction.PERMIT
+
+
+@dataclass
+class AccessList:
+    """A numbered IP access-list used to match route prefixes.
+
+    Matches the address/wildcard-mask form used in the paper's first example:
+    ``access-list 1 permit 0.0.0.0 255.255.255.255`` (match everything).
+    """
+
+    name: str
+    entries: list[tuple[PolicyAction, int, int]] = field(default_factory=list)
+
+    def permit(self, address: str, wildcard: str) -> "AccessList":
+        """Append a permit entry given dotted address and wildcard mask."""
+        return self._append(PolicyAction.PERMIT, address, wildcard)
+
+    def deny(self, address: str, wildcard: str) -> "AccessList":
+        """Append a deny entry given dotted address and wildcard mask."""
+        return self._append(PolicyAction.DENY, address, wildcard)
+
+    def _append(self, action: PolicyAction, address: str, wildcard: str) -> "AccessList":
+        from repro.net.prefix import parse_ipv4
+
+        self.entries.append((action, parse_ipv4(address), parse_ipv4(wildcard)))
+        return self
+
+    def evaluate(self, prefix: Prefix) -> PolicyAction:
+        """Return the action of the first entry matching the prefix's network address."""
+        for action, address, wildcard in self.entries:
+            if (prefix.network & ~wildcard & 0xFFFFFFFF) == (address & ~wildcard & 0xFFFFFFFF):
+                return action
+        return PolicyAction.DENY
+
+    def permits(self, prefix: Prefix) -> bool:
+        """Return ``True`` if the prefix is permitted."""
+        return self.evaluate(prefix) is PolicyAction.PERMIT
+
+
+@dataclass
+class CommunityList:
+    """A community-list: matches routes carrying any of the listed communities."""
+
+    name: str
+    communities: list[Community] = field(default_factory=list)
+
+    def add(self, community: Community | str) -> "CommunityList":
+        """Append a community to match (returns self for chaining)."""
+        if isinstance(community, str):
+            community = Community.parse(community)
+        self.communities.append(community)
+        return self
+
+    def matches(self, communities: CommunitySet) -> bool:
+        """Return ``True`` if the route's community set contains any listed value."""
+        return any(communities.has(community) for community in self.communities)
+
+
+# ---------------------------------------------------------------------------
+# Route maps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchCondition:
+    """The ``match`` part of a route-map clause.
+
+    All configured conditions must hold for the clause to match; an empty
+    condition matches every route (as in the paper's ``route-map isp1
+    permit`` with a match-everything access list).
+    """
+
+    prefix_list: PrefixList | None = None
+    access_list: AccessList | None = None
+    community_list: CommunityList | None = None
+    next_hop_as: ASN | None = None
+    as_path_contains: ASN | None = None
+    origin_as: ASN | None = None
+
+    def matches(self, route: Route) -> bool:
+        """Return ``True`` if the route satisfies every configured condition."""
+        if self.prefix_list is not None and not self.prefix_list.permits(route.prefix):
+            return False
+        if self.access_list is not None and not self.access_list.permits(route.prefix):
+            return False
+        if self.community_list is not None and not self.community_list.matches(
+            route.communities
+        ):
+            return False
+        if self.next_hop_as is not None and route.next_hop_as != self.next_hop_as:
+            return False
+        if self.as_path_contains is not None and not route.as_path.contains(
+            self.as_path_contains
+        ):
+            return False
+        if self.origin_as is not None and route.origin_as != self.origin_as:
+            return False
+        return True
+
+
+@dataclass
+class SetActions:
+    """The ``set`` part of a route-map clause."""
+
+    local_pref: int | None = None
+    med: int | None = None
+    prepend: tuple[ASN, int] | None = None
+    add_communities: tuple[Community | WellKnownCommunity, ...] = ()
+    delete_communities: tuple[Community | WellKnownCommunity, ...] = ()
+
+    def apply(self, route: Route) -> Route:
+        """Return a copy of the route with the set actions applied."""
+        result = route
+        if self.local_pref is not None:
+            result = result.with_local_pref(self.local_pref)
+        if self.med is not None:
+            result = result.replace(med=self.med)
+        if self.prepend is not None:
+            asn, count = self.prepend
+            result = result.replace(as_path=result.as_path.prepend(asn, count))
+        if self.add_communities:
+            result = result.with_communities(result.communities.add(*self.add_communities))
+        if self.delete_communities:
+            result = result.with_communities(
+                result.communities.remove(*self.delete_communities)
+            )
+        return result
+
+
+@dataclass
+class RouteMapClause:
+    """One ``route-map <name> permit|deny <seq>`` clause."""
+
+    action: PolicyAction
+    sequence: int = 10
+    match: MatchCondition = field(default_factory=MatchCondition)
+    set_actions: SetActions = field(default_factory=SetActions)
+
+
+@dataclass
+class RouteMap:
+    """An ordered route-map: the first matching clause decides.
+
+    A route that matches no clause is denied (IOS's implicit deny), matching
+    the semantics the paper's configuration examples rely on.
+    """
+
+    name: str
+    clauses: list[RouteMapClause] = field(default_factory=list)
+
+    def add_clause(self, clause: RouteMapClause) -> "RouteMap":
+        """Append a clause, keeping clauses ordered by sequence number."""
+        self.clauses.append(clause)
+        self.clauses.sort(key=lambda c: c.sequence)
+        return self
+
+    def permit(
+        self,
+        sequence: int = 10,
+        match: MatchCondition | None = None,
+        set_actions: SetActions | None = None,
+    ) -> "RouteMap":
+        """Append a permit clause (returns self for chaining)."""
+        return self.add_clause(
+            RouteMapClause(
+                PolicyAction.PERMIT,
+                sequence,
+                match or MatchCondition(),
+                set_actions or SetActions(),
+            )
+        )
+
+    def deny(self, sequence: int = 10, match: MatchCondition | None = None) -> "RouteMap":
+        """Append a deny clause (returns self for chaining)."""
+        return self.add_clause(
+            RouteMapClause(PolicyAction.DENY, sequence, match or MatchCondition())
+        )
+
+    def apply(self, route: Route) -> Route | None:
+        """Apply the route-map to one route.
+
+        Returns the (possibly modified) route if permitted, ``None`` if
+        denied or unmatched.
+        """
+        for clause in self.clauses:
+            if clause.match.matches(route):
+                if clause.action is PolicyAction.DENY:
+                    return None
+                return clause.set_actions.apply(route)
+        return None
+
+    def apply_all(self, routes: Iterable[Route]) -> list[Route]:
+        """Apply the route-map to many routes, dropping denied ones."""
+        results = []
+        for route in routes:
+            outcome = self.apply(route)
+            if outcome is not None:
+                results.append(outcome)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders used throughout the simulation and tests
+# ---------------------------------------------------------------------------
+
+
+def match_all_route_map(name: str, local_pref: int) -> RouteMap:
+    """Build the paper's first example: accept everything, set one LOCAL_PREF.
+
+    Mirrors::
+
+        access-list 1 permit 0.0.0.0 255.255.255.255
+        route-map <name> permit
+          match ip address 1
+          set local-preference <local_pref>
+    """
+    access = AccessList(name="1").permit("0.0.0.0", "255.255.255.255")
+    return RouteMap(name=name).permit(
+        match=MatchCondition(access_list=access),
+        set_actions=SetActions(local_pref=local_pref),
+    )
+
+
+def per_prefix_route_map(
+    name: str, prefix_prefs: Sequence[tuple[Prefix | str, int]], default_pref: int | None = None
+) -> RouteMap:
+    """Build the paper's second example: per-prefix LOCAL_PREF via prefix-lists.
+
+    Each ``(prefix, local_pref)`` pair becomes one clause; an optional final
+    clause assigns ``default_pref`` to everything else.
+    """
+    route_map = RouteMap(name=name)
+    sequence = 10
+    for prefix, pref in prefix_prefs:
+        plist = PrefixList(name=f"{name}-{sequence}").permit(prefix)
+        route_map.permit(
+            sequence=sequence,
+            match=MatchCondition(prefix_list=plist),
+            set_actions=SetActions(local_pref=pref),
+        )
+        sequence += 10
+    if default_pref is not None:
+        route_map.permit(sequence=sequence, set_actions=SetActions(local_pref=default_pref))
+    return route_map
+
+
+def deny_to_neighbor_route_map(name: str, denied_prefixes: Iterable[Prefix | str]) -> RouteMap:
+    """Build an export route-map that withholds specific prefixes from a neighbor.
+
+    This is the primitive behind the paper's *selective announcement*
+    export policy (Section 5.1.5, Case 3).
+    """
+    plist = PrefixList(name=f"{name}-deny")
+    for prefix in denied_prefixes:
+        plist.permit(prefix)
+    route_map = RouteMap(name=name)
+    route_map.deny(sequence=10, match=MatchCondition(prefix_list=plist))
+    route_map.permit(sequence=20)
+    return route_map
+
+
+def community_tagging_route_map(name: str, community: Community | str) -> RouteMap:
+    """Build an import route-map that tags every accepted route with one community.
+
+    This is how the Appendix's relationship-tagging communities (Table 11)
+    get attached at the border.
+    """
+    if isinstance(community, str):
+        community = Community.parse(community)
+    return RouteMap(name=name).permit(
+        set_actions=SetActions(add_communities=(community,))
+    )

@@ -1,0 +1,237 @@
+"""Causes of SA prefixes (paper Section 5.1.5, Tables 8 and 9, Case 3).
+
+Three candidate explanations are examined for every SA prefix observed at a
+provider:
+
+* **Prefix splitting** (Case 1) — the SA prefix and another prefix of the
+  same origin AS are in a more-specific / less-specific relationship but are
+  routed differently (one via a customer path, one via a peer path).
+* **Prefix aggregating** (Case 2) — the SA prefix could be aggregated by a
+  covering prefix present in the table (an upper bound, as in the paper).
+* **Selective announcing** (Case 3) — the remaining majority: the origin (or
+  an intermediate AS) announces the prefix to only a subset of providers, or
+  scopes the announcement with a community.
+
+The module also reproduces Table 8 (multihomed vs. single-homed origins of
+SA prefixes) and the Case 3 narrative numbers (what fraction of customers
+announce the SA prefix to the studied provider's direct customer branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.rib import LocRib
+from repro.core.export_policy import SAPrefixReport
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.simulation.collector import CollectorTable
+from repro.topology.graph import AnnotatedASGraph, Relationship
+
+
+@dataclass
+class HomingBreakdown:
+    """Table 8 style row: SA-prefix origins by homing.
+
+    Attributes:
+        provider: the provider whose SA prefixes are analysed.
+        multihomed_origins: origin ASes (of SA prefixes) with more than one
+            provider.
+        singlehomed_origins: origin ASes with exactly one provider.
+    """
+
+    provider: ASN
+    multihomed_origins: set[ASN] = field(default_factory=set)
+    singlehomed_origins: set[ASN] = field(default_factory=set)
+
+    @property
+    def multihomed_count(self) -> int:
+        """Number of multihomed origins."""
+        return len(self.multihomed_origins)
+
+    @property
+    def singlehomed_count(self) -> int:
+        """Number of single-homed origins."""
+        return len(self.singlehomed_origins)
+
+    @property
+    def percent_multihomed(self) -> float:
+        """Percentage of SA-prefix origins that are multihomed."""
+        total = self.multihomed_count + self.singlehomed_count
+        if total == 0:
+            return 0.0
+        return 100.0 * self.multihomed_count / total
+
+
+@dataclass
+class CauseBreakdown:
+    """Table 9 style row: how many SA prefixes each cause can explain.
+
+    Attributes:
+        provider: the provider whose SA prefixes are analysed.
+        sa_prefix_count: total SA prefixes.
+        splitting_count: SA prefixes explained by prefix splitting.
+        aggregating_count: SA prefixes that could be aggregated by a covering
+            prefix (upper bound).
+        selective_count: the remainder, attributed to selective announcing.
+    """
+
+    provider: ASN
+    sa_prefix_count: int = 0
+    splitting_count: int = 0
+    aggregating_count: int = 0
+    selective_count: int = 0
+
+
+@dataclass
+class Case3Result:
+    """The Section 5.1.5 Case 3 numbers for one provider.
+
+    Attributes:
+        provider: the provider analysed.
+        sa_prefix_count: SA prefixes considered.
+        identified_count: SA prefixes for which the collector has enough
+            paths to decide.
+        exported_to_direct_provider: identified prefixes that the customer
+            *does* announce to its direct provider on the provider's customer
+            branch (so the curving is caused further upstream).
+        not_exported_to_direct_provider: identified prefixes the customer
+            does not announce on that branch at all.
+    """
+
+    provider: ASN
+    sa_prefix_count: int = 0
+    identified_count: int = 0
+    exported_to_direct_provider: int = 0
+    not_exported_to_direct_provider: int = 0
+
+    @property
+    def percent_identified(self) -> float:
+        """Fraction of SA prefixes the method could classify."""
+        if self.sa_prefix_count == 0:
+            return 0.0
+        return 100.0 * self.identified_count / self.sa_prefix_count
+
+    @property
+    def percent_exported(self) -> float:
+        """Among identified prefixes, fraction announced to the direct provider."""
+        if self.identified_count == 0:
+            return 0.0
+        return 100.0 * self.exported_to_direct_provider / self.identified_count
+
+    @property
+    def percent_not_exported(self) -> float:
+        """Among identified prefixes, fraction not announced to the direct provider."""
+        if self.identified_count == 0:
+            return 0.0
+        return 100.0 * self.not_exported_to_direct_provider / self.identified_count
+
+
+class CauseAnalyzer:
+    """Attributes SA prefixes to splitting, aggregating or selective announcing."""
+
+    def __init__(self, relationships: AnnotatedASGraph) -> None:
+        self.relationships = relationships
+
+    # -- Table 8 -------------------------------------------------------------------
+
+    def homing_breakdown(self, report: SAPrefixReport) -> HomingBreakdown:
+        """Classify the origins of a provider's SA prefixes by homing."""
+        breakdown = HomingBreakdown(provider=report.provider)
+        for origin in report.origins_with_sa_prefixes():
+            if self.relationships.is_multihomed(origin):
+                breakdown.multihomed_origins.add(origin)
+            else:
+                breakdown.singlehomed_origins.add(origin)
+        return breakdown
+
+    # -- Table 9 ----------------------------------------------------------------------
+
+    def cause_breakdown(self, report: SAPrefixReport, table: LocRib) -> CauseBreakdown:
+        """Count SA prefixes explained by splitting / aggregating / selective announcing."""
+        breakdown = CauseBreakdown(
+            provider=report.provider, sa_prefix_count=report.sa_prefix_count
+        )
+        # Index every best route by prefix for covering/covered queries.
+        trie: PrefixTrie = PrefixTrie()
+        for route in table.best_routes():
+            trie.insert(route.prefix, route)
+        for item in report.sa_prefixes:
+            is_splitting = self._is_splitting(
+                report.provider, item.prefix, item.origin_as, trie
+            )
+            is_aggregating = self._is_aggregating(item.prefix, trie)
+            if is_splitting:
+                breakdown.splitting_count += 1
+            if is_aggregating:
+                breakdown.aggregating_count += 1
+            if not is_splitting and not is_aggregating:
+                breakdown.selective_count += 1
+        return breakdown
+
+    def _is_splitting(
+        self, provider: ASN, prefix: Prefix, origin: ASN, trie: PrefixTrie
+    ) -> bool:
+        """Splitting: a related (covering or covered) prefix of the same origin
+        is reached via a customer route while this one is not."""
+        related = list(trie.covering(prefix)) + list(trie.covered(prefix))
+        for other_prefix, other_route in related:
+            if other_prefix == prefix:
+                continue
+            if other_route.origin_as != origin:
+                continue
+            other_relationship = self.relationships.relationship(
+                provider, other_route.next_hop_as
+            )
+            if other_relationship is Relationship.CUSTOMER:
+                return True
+        return False
+
+    @staticmethod
+    def _is_aggregating(prefix: Prefix, trie: PrefixTrie) -> bool:
+        """Aggregating (upper bound): a strictly covering prefix exists in the table."""
+        for covering_prefix, _ in trie.covering(prefix):
+            if covering_prefix.length < prefix.length:
+                return True
+        return False
+
+    # -- Case 3 ------------------------------------------------------------------------------
+
+    def case3_analysis(
+        self, report: SAPrefixReport, collector: CollectorTable
+    ) -> Case3Result:
+        """Determine whether SA-prefix origins announce to the provider's branch.
+
+        For each SA prefix, the *direct provider of interest* is the
+        penultimate AS on the provider's customer path down to the origin
+        (the provider itself for direct customers).  The collector's paths
+        for that prefix are then searched: if some path shows the origin
+        announcing directly to that AS (the AS appears immediately left of
+        the origin), the customer does export the prefix there and the
+        curving is caused upstream; if no path does, the customer withholds
+        the prefix from that branch.
+        """
+        result = Case3Result(provider=report.provider, sa_prefix_count=report.sa_prefix_count)
+        for item in report.sa_prefixes:
+            if not item.customer_path or len(item.customer_path) < 2:
+                continue
+            direct_provider = item.customer_path[-2]
+            observed_paths = [
+                entry.as_path.deduplicate().asns
+                for entry in collector.entries_for_prefix(item.prefix)
+            ]
+            if not observed_paths:
+                continue
+            result.identified_count += 1
+            exported = any(
+                origin_index > 0 and path[origin_index - 1] == direct_provider
+                for path in observed_paths
+                for origin_index in [len(path) - 1]
+                if path and path[-1] == item.origin_as
+            )
+            if exported:
+                result.exported_to_direct_provider += 1
+            else:
+                result.not_exported_to_direct_provider += 1
+        return result

@@ -1,0 +1,101 @@
+"""Consistency of LOCAL_PREF with next-hop ASes (paper Section 4.2, Fig. 2).
+
+Operators can key LOCAL_PREF either on the next-hop AS (one value per
+neighbor) or on the prefix.  The paper measures, per AS, the percentage of
+prefixes whose LOCAL_PREF equals the value the AS uses for that next-hop AS
+in general — i.e. prefixes whose preference is explained by the neighbor
+alone.  Fig. 2(a) reports this for 14 ASes; Fig. 2(b) repeats it per router
+inside one large AS (AT&T, 30 backbone routers).
+
+The "value the AS uses for that next-hop AS in general" is taken to be the
+most common (modal) LOCAL_PREF among the routes learned from that neighbor,
+which is how it would be estimated from a routing table without access to
+the configuration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.bgp.rib import LocRib
+from repro.net.asn import ASN
+from repro.simulation.collector import LookingGlass
+
+
+@dataclass
+class ConsistencyResult:
+    """Next-hop consistency of LOCAL_PREF for one table.
+
+    Attributes:
+        asn: the AS the table belongs to.
+        router_id: router identifier for per-router views (0 for the AS view).
+        total_routes: routes considered (non-local candidate routes).
+        consistent_routes: routes whose LOCAL_PREF equals their neighbor's
+            modal value.
+        neighbor_modes: the modal LOCAL_PREF per next-hop AS.
+    """
+
+    asn: ASN
+    router_id: int = 0
+    total_routes: int = 0
+    consistent_routes: int = 0
+    neighbor_modes: dict[ASN, int] = field(default_factory=dict)
+
+    @property
+    def percent_consistent(self) -> float:
+        """Percentage of routes whose LOCAL_PREF is explained by the next-hop AS."""
+        if self.total_routes == 0:
+            return 100.0
+        return 100.0 * self.consistent_routes / self.total_routes
+
+
+class ConsistencyAnalyzer:
+    """Measures how much of an AS's LOCAL_PREF assignment is next-hop based."""
+
+    def analyze_table(self, table: LocRib, router_id: int = 0) -> ConsistencyResult:
+        """Analyse one routing table (an AS view or a single router view)."""
+        per_neighbor: dict[ASN, Counter] = defaultdict(Counter)
+        for entry in table.entries():
+            for route in entry.routes:
+                if route.is_local:
+                    continue
+                per_neighbor[route.next_hop_as][route.local_pref] += 1
+        result = ConsistencyResult(asn=table.owner, router_id=router_id)
+        for neighbor, counts in per_neighbor.items():
+            mode_value, mode_count = counts.most_common(1)[0]
+            result.neighbor_modes[neighbor] = mode_value
+            result.total_routes += sum(counts.values())
+            result.consistent_routes += mode_count
+        return result
+
+    def analyze_looking_glass(self, glass: LookingGlass) -> ConsistencyResult:
+        """Fig. 2(a): the consistency of one Looking Glass AS."""
+        return self.analyze_table(glass.table)
+
+    def analyze_many(self, glasses: list[LookingGlass]) -> list[ConsistencyResult]:
+        """Fig. 2(a): consistency for a set of Looking Glass ASes."""
+        return [self.analyze_looking_glass(glass) for glass in glasses]
+
+    def analyze_routers(
+        self,
+        glass: LookingGlass,
+        router_count: int = 30,
+        per_prefix_override_fraction: float = 0.05,
+        seed: int = 7,
+    ) -> list[ConsistencyResult]:
+        """Fig. 2(b): per-router consistency inside one AS.
+
+        The router views are synthesised by the Looking Glass (each router
+        mostly follows the AS-wide policy with a few router-local per-prefix
+        overrides), then each view is analysed independently.
+        """
+        views = glass.router_views(
+            router_count=router_count,
+            per_prefix_override_fraction=per_prefix_override_fraction,
+            seed=seed,
+        )
+        return [
+            self.analyze_table(view, router_id=index + 1)
+            for index, view in enumerate(views)
+        ]

@@ -1,0 +1,196 @@
+"""Import-policy inference: typical vs. atypical LOCAL_PREF (paper Section 4.1).
+
+Two data sources are analysed, exactly as in the paper:
+
+* **Looking Glass tables** (Table 2) — for each prefix with candidate routes
+  from neighbors of different relationship classes, check whether the
+  LOCAL_PREF values conform to the typical order (customer routes above peer
+  and provider routes, peer routes above provider routes).  The result per
+  AS is the percentage of comparable prefixes that are typical.
+* **The IRR** (Table 3) — for each registered AS with enough neighbors,
+  translate the RPSL ``pref`` values of its import lines back into
+  LOCAL_PREF (``pref`` is opposite to LOCAL_PREF) and check, for every pair
+  of neighbors with different relationships, whether the pair conforms to
+  the typical order.
+
+Relationships are supplied as an annotated AS graph — either the ground
+truth or an inferred graph — so the sensitivity to inference error
+(Section 4.3) can be measured by swapping the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.bgp.route import Route
+from repro.data.rpsl import IrrDatabase, rpsl_pref_to_local_pref
+from repro.exceptions import InferenceError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.simulation.collector import LookingGlass
+from repro.topology.graph import AnnotatedASGraph, Relationship
+
+#: The strict ordering the paper calls *typical*: customer above peer above
+#: provider.  Siblings are treated like customers for comparison purposes.
+_TYPICAL_RANK = {
+    Relationship.CUSTOMER: 3,
+    Relationship.SIBLING: 3,
+    Relationship.PEER: 2,
+    Relationship.PROVIDER: 1,
+}
+
+
+def _conforms(
+    first_rel: Relationship, first_pref: int, second_rel: Relationship, second_pref: int
+) -> bool:
+    """Check one pair of (relationship, LOCAL_PREF) observations for typicality."""
+    first_rank = _TYPICAL_RANK[first_rel]
+    second_rank = _TYPICAL_RANK[second_rel]
+    if first_rank == second_rank:
+        return True
+    if first_rank > second_rank:
+        return first_pref > second_pref
+    return second_pref > first_pref
+
+
+@dataclass
+class TypicalityResult:
+    """Typical-LOCAL_PREF statistics for one AS from its routing table.
+
+    Attributes:
+        asn: the AS analysed.
+        comparable_prefixes: prefixes with candidate routes from at least two
+            relationship classes.
+        typical_prefixes: how many of them conform to the typical order.
+        atypical_examples: up to a handful of offending prefixes, for
+            inspection.
+    """
+
+    asn: ASN
+    comparable_prefixes: int = 0
+    typical_prefixes: int = 0
+    atypical_examples: list[Prefix] = field(default_factory=list)
+
+    @property
+    def percent_typical(self) -> float:
+        """Percentage of comparable prefixes with typical LOCAL_PREF."""
+        if self.comparable_prefixes == 0:
+            return 100.0
+        return 100.0 * self.typical_prefixes / self.comparable_prefixes
+
+
+@dataclass
+class IrrTypicalityResult:
+    """Typical-LOCAL_PREF statistics for one AS from its IRR registration.
+
+    Attributes:
+        asn: the AS analysed.
+        neighbor_count: neighbors with a registered import preference and a
+            known relationship.
+        comparable_pairs: neighbor pairs with different relationships.
+        typical_pairs: pairs conforming to the typical order.
+    """
+
+    asn: ASN
+    neighbor_count: int = 0
+    comparable_pairs: int = 0
+    typical_pairs: int = 0
+
+    @property
+    def percent_typical(self) -> float:
+        """Percentage of comparable neighbor pairs with typical preferences."""
+        if self.comparable_pairs == 0:
+            return 100.0
+        return 100.0 * self.typical_pairs / self.comparable_pairs
+
+
+class ImportPolicyAnalyzer:
+    """Infers LOCAL_PREF typicality from routing tables and from the IRR."""
+
+    def __init__(self, relationships: AnnotatedASGraph) -> None:
+        self.relationships = relationships
+
+    # -- from Looking Glass tables (Table 2) -------------------------------------
+
+    def analyze_looking_glass(self, glass: LookingGlass) -> TypicalityResult:
+        """Compute the Table 2 row for one Looking Glass AS."""
+        result = TypicalityResult(asn=glass.asn)
+        for entry in glass.table.entries():
+            observations = self._classified_routes(glass.asn, entry.routes)
+            if len({relationship for relationship, _ in observations}) < 2:
+                continue
+            result.comparable_prefixes += 1
+            if self._prefix_is_typical(observations):
+                result.typical_prefixes += 1
+            elif len(result.atypical_examples) < 10:
+                result.atypical_examples.append(entry.prefix)
+        return result
+
+    def analyze_many(self, glasses: list[LookingGlass]) -> list[TypicalityResult]:
+        """Compute Table 2 for several Looking Glass ASes."""
+        return [self.analyze_looking_glass(glass) for glass in glasses]
+
+    def _classified_routes(
+        self, viewpoint: ASN, routes: list[Route]
+    ) -> list[tuple[Relationship, int]]:
+        observations: list[tuple[Relationship, int]] = []
+        for route in routes:
+            if route.is_local:
+                continue
+            relationship = self.relationships.relationship(viewpoint, route.next_hop_as)
+            if relationship is None:
+                continue
+            observations.append((relationship, route.local_pref))
+        return observations
+
+    @staticmethod
+    def _prefix_is_typical(observations: list[tuple[Relationship, int]]) -> bool:
+        for (rel_a, pref_a), (rel_b, pref_b) in combinations(observations, 2):
+            if not _conforms(rel_a, pref_a, rel_b, pref_b):
+                return False
+        return True
+
+    # -- from the IRR (Table 3) ------------------------------------------------------
+
+    def analyze_irr(
+        self,
+        irr: IrrDatabase,
+        min_neighbors: int = 10,
+        updated_during: str | None = "2002",
+    ) -> list[IrrTypicalityResult]:
+        """Compute the Table 3 rows from a (possibly stale, incomplete) IRR.
+
+        Mirrors the paper's filtering: objects not updated during the study
+        year are discarded, and only ASes with at least ``min_neighbors``
+        neighbors whose relationships are known are analysed (the paper uses
+        50 neighbors on the real Internet; the synthetic Internet is smaller,
+        hence the lower default).
+        """
+        if min_neighbors < 2:
+            raise InferenceError("min_neighbors must be at least 2")
+        results: list[IrrTypicalityResult] = []
+        candidates = (
+            irr.updated_during(updated_during) if updated_during is not None else list(irr)
+        )
+        for obj in candidates:
+            observations: list[tuple[Relationship, int]] = []
+            for line in obj.imports:
+                if line.pref is None:
+                    continue
+                relationship = self.relationships.relationship(obj.asn, line.peer_as)
+                if relationship is None:
+                    continue
+                observations.append((relationship, rpsl_pref_to_local_pref(line.pref)))
+            if len(observations) < min_neighbors:
+                continue
+            result = IrrTypicalityResult(asn=obj.asn, neighbor_count=len(observations))
+            for (rel_a, pref_a), (rel_b, pref_b) in combinations(observations, 2):
+                if _TYPICAL_RANK[rel_a] == _TYPICAL_RANK[rel_b]:
+                    continue
+                result.comparable_pairs += 1
+                if _conforms(rel_a, pref_a, rel_b, pref_b):
+                    result.typical_pairs += 1
+            if result.comparable_pairs > 0:
+                results.append(result)
+        return results

@@ -1,0 +1,145 @@
+"""Export policies toward peers (paper Section 5.2, Table 10).
+
+For a given AS, the question is: do its peers announce their *own* prefixes
+directly over the peer link?  From the AS's routing table, a peer announces
+its prefixes directly when the routes for the prefixes it originates arrive
+with the peer itself as the next-hop AS.  The paper finds that the vast
+majority of peers do (86%–100% for the three Tier-1s studied), with the few
+exceptions attributed to load balancing across multiple peering points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.rib import LocRib
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.topology.graph import AnnotatedASGraph, Relationship
+
+
+@dataclass
+class PeerBehaviour:
+    """How one peer announces its own prefixes to the studied AS.
+
+    Attributes:
+        peer: the peer AS.
+        originated_prefixes: prefixes the peer originates (observed or known).
+        directly_received: how many of them arrive with the peer as next hop.
+    """
+
+    peer: ASN
+    originated_prefixes: int = 0
+    directly_received: int = 0
+
+    @property
+    def fraction_direct(self) -> float:
+        """Fraction of the peer's prefixes received directly over the peer link."""
+        if self.originated_prefixes == 0:
+            return 0.0
+        return self.directly_received / self.originated_prefixes
+
+
+@dataclass
+class PeerExportReport:
+    """Table 10 style row for one studied AS.
+
+    Attributes:
+        asn: the AS whose peers are analysed.
+        peers: per-peer behaviour (only peers originating at least one
+            observed prefix are listed).
+        full_export_threshold: the fraction of a peer's prefixes that must
+            arrive directly for the peer to count as "announcing its
+            prefixes".
+    """
+
+    asn: ASN
+    peers: list[PeerBehaviour] = field(default_factory=list)
+    full_export_threshold: float = 1.0
+
+    @property
+    def peer_count(self) -> int:
+        """Number of peers with at least one observed prefix."""
+        return len(self.peers)
+
+    @property
+    def announcing_peer_count(self) -> int:
+        """Peers announcing (at least the threshold fraction of) their prefixes directly."""
+        return sum(
+            1 for peer in self.peers if peer.fraction_direct >= self.full_export_threshold
+        )
+
+    @property
+    def percent_announcing(self) -> float:
+        """Percentage of peers announcing their prefixes directly."""
+        if not self.peers:
+            return 0.0
+        return 100.0 * self.announcing_peer_count / self.peer_count
+
+    def partial_announcers(self) -> list[PeerBehaviour]:
+        """Peers that announce some but not all of their prefixes directly."""
+        return [
+            peer
+            for peer in self.peers
+            if 0 < peer.fraction_direct < self.full_export_threshold
+        ]
+
+
+class PeerExportAnalyzer:
+    """Measures how peers export their own prefixes to a studied AS."""
+
+    def __init__(self, relationships: AnnotatedASGraph) -> None:
+        self.relationships = relationships
+
+    def analyze(
+        self,
+        asn: ASN,
+        table: LocRib,
+        originated: dict[ASN, list[Prefix]] | None = None,
+        full_export_threshold: float = 1.0,
+    ) -> PeerExportReport:
+        """Compute the Table 10 row for one AS.
+
+        Args:
+            asn: the studied AS.
+            table: its routing table.
+            originated: ground-truth prefix ownership; when omitted, a peer's
+                originated prefixes are taken to be those whose observed
+                origin AS is the peer.
+            full_export_threshold: fraction of prefixes that must be received
+                directly for a peer to count as announcing.
+        """
+        report = PeerExportReport(asn=asn, full_export_threshold=full_export_threshold)
+        peers = [
+            neighbor
+            for neighbor in self.relationships.neighbors(asn)
+            if self.relationships.relationship(asn, neighbor) is Relationship.PEER
+        ]
+        for peer in sorted(peers):
+            if originated is not None:
+                peer_prefixes = list(originated.get(peer, []))
+            else:
+                peer_prefixes = table.prefixes_originated_by(peer)
+            if not peer_prefixes:
+                continue
+            behaviour = PeerBehaviour(peer=peer, originated_prefixes=len(peer_prefixes))
+            for prefix in peer_prefixes:
+                routes = table.all_routes(prefix)
+                if any(
+                    not route.is_local and route.next_hop_as == peer for route in routes
+                ):
+                    behaviour.directly_received += 1
+            report.peers.append(behaviour)
+        return report
+
+    def analyze_many(
+        self,
+        tables: dict[ASN, LocRib],
+        originated: dict[ASN, list[Prefix]] | None = None,
+        full_export_threshold: float = 1.0,
+    ) -> dict[ASN, PeerExportReport]:
+        """Compute Table 10 for several studied ASes."""
+        return {
+            asn: self.analyze(asn, table, originated, full_export_threshold)
+            for asn, table in tables.items()
+        }

@@ -1,0 +1,136 @@
+"""Persistence of SA prefixes over time (paper Section 5.1.4, Figs. 6 and 7).
+
+Given a chronological sequence of snapshots (daily over a month, or 2-hourly
+over a day), the analysis tracks, for one provider:
+
+* the number of prefixes and of SA prefixes in each snapshot (Fig. 6), and
+* per prefix, its *uptime* (number of snapshots in which it appears) and its
+  *SA uptime* (number of snapshots in which it is an SA prefix); prefixes
+  whose SA uptime is lower than their uptime have shifted from SA to non-SA
+  at some point (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.export_policy import ExportPolicyAnalyzer
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.simulation.timeline import Snapshot
+from repro.topology.graph import AnnotatedASGraph
+
+
+@dataclass
+class PersistenceSeries:
+    """Fig. 6 style series for one provider.
+
+    Attributes:
+        provider: the provider analysed.
+        snapshot_indices: the snapshot numbers.
+        all_prefix_counts: prefixes in the provider's table per snapshot.
+        sa_prefix_counts: SA prefixes per snapshot.
+    """
+
+    provider: ASN
+    snapshot_indices: list[int] = field(default_factory=list)
+    all_prefix_counts: list[int] = field(default_factory=list)
+    sa_prefix_counts: list[int] = field(default_factory=list)
+
+    def as_rows(self) -> list[tuple[int, int, int]]:
+        """(snapshot, all prefixes, SA prefixes) rows."""
+        return list(
+            zip(self.snapshot_indices, self.all_prefix_counts, self.sa_prefix_counts)
+        )
+
+
+@dataclass
+class UptimeDistribution:
+    """Fig. 7 style distribution for one provider.
+
+    Attributes:
+        provider: the provider analysed.
+        snapshot_count: number of snapshots examined.
+        uptime: per prefix, the number of snapshots it appears in.
+        sa_uptime: per prefix, the number of snapshots it is an SA prefix in.
+    """
+
+    provider: ASN
+    snapshot_count: int = 0
+    uptime: dict[Prefix, int] = field(default_factory=dict)
+    sa_uptime: dict[Prefix, int] = field(default_factory=dict)
+
+    def ever_sa_prefixes(self) -> set[Prefix]:
+        """Prefixes that were an SA prefix in at least one snapshot."""
+        return {prefix for prefix, count in self.sa_uptime.items() if count > 0}
+
+    def remaining_sa_prefixes(self) -> set[Prefix]:
+        """Prefixes that were SA in *every* snapshot they appeared in."""
+        return {
+            prefix
+            for prefix in self.ever_sa_prefixes()
+            if self.sa_uptime[prefix] == self.uptime.get(prefix, 0)
+        }
+
+    def shifting_prefixes(self) -> set[Prefix]:
+        """Prefixes that shifted from SA to non-SA during the period."""
+        return self.ever_sa_prefixes() - self.remaining_sa_prefixes()
+
+    def histogram(self) -> list[tuple[int, int, int]]:
+        """Fig. 7 histogram rows: (uptime, remaining-as-SA count, shifting count)."""
+        remaining = self.remaining_sa_prefixes()
+        shifting = self.shifting_prefixes()
+        rows: list[tuple[int, int, int]] = []
+        for uptime_value in range(1, self.snapshot_count + 1):
+            remaining_count = sum(
+                1 for prefix in remaining if self.uptime.get(prefix) == uptime_value
+            )
+            shifting_count = sum(
+                1 for prefix in shifting if self.uptime.get(prefix) == uptime_value
+            )
+            rows.append((uptime_value, remaining_count, shifting_count))
+        return rows
+
+    @property
+    def percent_shifting(self) -> float:
+        """Fraction of ever-SA prefixes that shifted to non-SA at some point."""
+        ever = self.ever_sa_prefixes()
+        if not ever:
+            return 0.0
+        return 100.0 * len(self.shifting_prefixes()) / len(ever)
+
+
+class PersistenceAnalyzer:
+    """Computes the Fig. 6 series and Fig. 7 distributions from snapshots."""
+
+    def __init__(self, relationships: AnnotatedASGraph) -> None:
+        self.relationships = relationships
+        self._export_analyzer = ExportPolicyAnalyzer(relationships)
+
+    def series_for_provider(
+        self, snapshots: list[Snapshot], provider: ASN
+    ) -> PersistenceSeries:
+        """Fig. 6: per-snapshot totals for one provider."""
+        series = PersistenceSeries(provider=provider)
+        for snapshot in snapshots:
+            table = snapshot.result.table_of(provider)
+            report = self._export_analyzer.find_sa_prefixes(provider, table)
+            series.snapshot_indices.append(snapshot.index)
+            series.all_prefix_counts.append(len(table))
+            series.sa_prefix_counts.append(report.sa_prefix_count)
+        return series
+
+    def uptime_distribution(
+        self, snapshots: list[Snapshot], provider: ASN
+    ) -> UptimeDistribution:
+        """Fig. 7: uptime and SA-uptime of every prefix seen at the provider."""
+        distribution = UptimeDistribution(provider=provider, snapshot_count=len(snapshots))
+        for snapshot in snapshots:
+            table = snapshot.result.table_of(provider)
+            report = self._export_analyzer.find_sa_prefixes(provider, table)
+            sa_set = report.sa_prefix_set()
+            for prefix in table.prefixes():
+                distribution.uptime[prefix] = distribution.uptime.get(prefix, 0) + 1
+                if prefix in sa_set:
+                    distribution.sa_uptime[prefix] = distribution.sa_uptime.get(prefix, 0) + 1
+        return distribution

@@ -1,0 +1,214 @@
+"""Export a study dataset to disk and load it back.
+
+A downstream user of the real 2002 study would receive a directory of
+artifacts: MRT RIB dumps from the collector's peers, ``show ip bgp`` text
+from the Looking Glass servers, and an IRR database file.  The archive module
+produces exactly that layout from a :class:`~repro.data.dataset.StudyDataset`
+and reads it back into an :class:`ArchivedDataset` that the analyzers in
+:mod:`repro.core` can consume directly — so the whole analysis pipeline can
+be exercised across a genuine on-disk serialisation boundary.
+
+Layout written by :func:`export_dataset`::
+
+    <root>/
+      MANIFEST.txt                  # human-readable inventory
+      rib/AS<asn>.mrt               # one MRT-style dump per observed AS
+      looking_glass/AS<asn>.txt     # show-ip-bgp table text per Looking Glass AS
+      irr/irr.db                    # RPSL aut-num objects
+      relationships/edges.csv       # the annotated AS graph (provider,customer / peer,peer)
+      prefixes/originated.csv       # ground-truth prefix ownership
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.bgp.rib import LocRib
+from repro.data.dataset import StudyDataset
+from repro.data.mrt import MrtReader, MrtWriter
+from repro.data.rpsl import IrrDatabase
+from repro.data.show_ip_bgp import format_show_ip_bgp_table, parse_show_ip_bgp_table
+from repro.exceptions import DataFormatError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.topology.graph import AnnotatedASGraph, Relationship
+
+MANIFEST_NAME = "MANIFEST.txt"
+
+
+@dataclass
+class ArchivedDataset:
+    """A dataset read back from an on-disk archive.
+
+    Attributes:
+        root: the archive directory.
+        tables: routing tables keyed by observed AS (from the MRT dumps).
+        looking_glass_tables: tables keyed by Looking Glass AS (from the
+            ``show ip bgp`` text files).
+        irr: the IRR database.
+        graph: the annotated AS graph from ``relationships/edges.csv``.
+        originated: ground-truth prefix ownership.
+    """
+
+    root: pathlib.Path
+    tables: dict[ASN, LocRib] = field(default_factory=dict)
+    looking_glass_tables: dict[ASN, LocRib] = field(default_factory=dict)
+    irr: IrrDatabase = field(default_factory=IrrDatabase)
+    graph: AnnotatedASGraph = field(default_factory=AnnotatedASGraph)
+    originated: dict[ASN, list[Prefix]] = field(default_factory=dict)
+
+    @property
+    def observed_ases(self) -> list[ASN]:
+        """The ASes with an MRT table in the archive."""
+        return sorted(self.tables)
+
+    @property
+    def looking_glass_ases(self) -> list[ASN]:
+        """The ASes with a Looking Glass text table in the archive."""
+        return sorted(self.looking_glass_tables)
+
+
+def export_dataset(dataset: StudyDataset, root: str | pathlib.Path) -> pathlib.Path:
+    """Write a study dataset to ``root`` and return the path.
+
+    The directory is created if needed; existing files are overwritten.
+    """
+    root_path = pathlib.Path(root)
+    (root_path / "rib").mkdir(parents=True, exist_ok=True)
+    (root_path / "looking_glass").mkdir(parents=True, exist_ok=True)
+    (root_path / "irr").mkdir(parents=True, exist_ok=True)
+    (root_path / "relationships").mkdir(parents=True, exist_ok=True)
+    (root_path / "prefixes").mkdir(parents=True, exist_ok=True)
+
+    # MRT-style dumps for every observed AS.
+    for asn in dataset.result.observed_ases:
+        table = dataset.result.table_of(asn)
+        with open(root_path / "rib" / f"AS{asn}.mrt", "wb") as stream:
+            MrtWriter(stream).write_table(table)
+
+    # show-ip-bgp text for the Looking Glass ASes.
+    for asn in dataset.looking_glass_ases:
+        glass = dataset.looking_glass_of(asn)
+        text = format_show_ip_bgp_table(glass.table)
+        (root_path / "looking_glass" / f"AS{asn}.txt").write_text(text)
+
+    # IRR database.
+    (root_path / "irr" / "irr.db").write_text(dataset.irr.render())
+
+    # Ground-truth relationships.
+    edge_lines = ["kind,left,right"]
+    for edge in dataset.ground_truth_graph.edges():
+        if edge.relationship is Relationship.CUSTOMER:
+            edge_lines.append(f"p2c,{edge.provider},{edge.customer}")
+        elif edge.relationship is Relationship.PEER:
+            edge_lines.append(f"p2p,{edge.provider},{edge.customer}")
+        else:
+            edge_lines.append(f"s2s,{edge.provider},{edge.customer}")
+    (root_path / "relationships" / "edges.csv").write_text("\n".join(edge_lines) + "\n")
+
+    # Ground-truth prefix ownership.
+    prefix_lines = ["origin_as,prefix"]
+    for asn in sorted(dataset.internet.originated):
+        for prefix in dataset.internet.prefixes_of(asn):
+            prefix_lines.append(f"{asn},{prefix}")
+    (root_path / "prefixes" / "originated.csv").write_text("\n".join(prefix_lines) + "\n")
+
+    manifest = [
+        "repro study-dataset archive",
+        f"observed ASes: {len(dataset.result.observed_ases)}",
+        f"looking glass ASes: {len(dataset.looking_glass_ases)}",
+        f"collector peers: {len(dataset.vantage_ases)}",
+        f"IRR objects: {len(dataset.irr)}",
+        f"ASes: {len(dataset.ground_truth_graph)}",
+        f"originated prefixes: {len(dataset.internet.all_prefixes())}",
+    ]
+    (root_path / MANIFEST_NAME).write_text("\n".join(manifest) + "\n")
+    return root_path
+
+
+def load_dataset(root: str | pathlib.Path) -> ArchivedDataset:
+    """Read an archive produced by :func:`export_dataset`.
+
+    Raises:
+        DataFormatError: if the directory is not a dataset archive or one of
+            its files is malformed.
+    """
+    root_path = pathlib.Path(root)
+    if not (root_path / MANIFEST_NAME).exists():
+        raise DataFormatError(f"{root_path} is not a dataset archive (no {MANIFEST_NAME})")
+    archive = ArchivedDataset(root=root_path)
+
+    rib_dir = root_path / "rib"
+    if rib_dir.is_dir():
+        for path in sorted(rib_dir.glob("AS*.mrt")):
+            with open(path, "rb") as stream:
+                tables = MrtReader(stream).read_tables()
+            for asn, table in tables.items():
+                archive.tables[asn] = table
+
+    glass_dir = root_path / "looking_glass"
+    if glass_dir.is_dir():
+        for path in sorted(glass_dir.glob("AS*.txt")):
+            asn = _asn_from_name(path.stem)
+            archive.looking_glass_tables[asn] = parse_show_ip_bgp_table(
+                path.read_text(), view_as=asn
+            )
+
+    irr_path = root_path / "irr" / "irr.db"
+    if irr_path.exists():
+        archive.irr = IrrDatabase.parse(irr_path.read_text())
+
+    edges_path = root_path / "relationships" / "edges.csv"
+    if edges_path.exists():
+        archive.graph = _parse_edges(edges_path.read_text())
+
+    prefixes_path = root_path / "prefixes" / "originated.csv"
+    if prefixes_path.exists():
+        archive.originated = _parse_originated(prefixes_path.read_text())
+
+    return archive
+
+
+def _asn_from_name(stem: str) -> ASN:
+    if not stem.startswith("AS") or not stem[2:].isdigit():
+        raise DataFormatError(f"unexpected archive file name: {stem!r}")
+    return int(stem[2:])
+
+
+def _parse_edges(text: str) -> AnnotatedASGraph:
+    graph = AnnotatedASGraph()
+    for index, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line or (index == 0 and line.startswith("kind,")):
+            continue
+        parts = line.split(",")
+        if len(parts) != 3:
+            raise DataFormatError(f"malformed relationship line: {line!r}")
+        kind, left_text, right_text = parts
+        try:
+            left, right = int(left_text), int(right_text)
+        except ValueError as exc:
+            raise DataFormatError(f"malformed AS number in: {line!r}") from exc
+        if kind == "p2c":
+            graph.add_provider_customer(left, right)
+        elif kind == "p2p":
+            graph.add_peer_peer(left, right)
+        elif kind == "s2s":
+            graph.add_sibling(left, right)
+        else:
+            raise DataFormatError(f"unknown relationship kind: {kind!r}")
+    return graph
+
+
+def _parse_originated(text: str) -> dict[ASN, list[Prefix]]:
+    originated: dict[ASN, list[Prefix]] = {}
+    for index, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line or (index == 0 and line.startswith("origin_as,")):
+            continue
+        asn_text, _, prefix_text = line.partition(",")
+        if not asn_text.isdigit() or not prefix_text:
+            raise DataFormatError(f"malformed originated-prefix line: {line!r}")
+        originated.setdefault(int(asn_text), []).append(Prefix.parse(prefix_text))
+    return originated

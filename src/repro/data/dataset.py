@@ -1,0 +1,256 @@
+"""Assembly of the full study dataset (paper Section 3, Table 1).
+
+The paper's dataset is: the Oregon RouteViews table (56 peer ASes, AS paths
+only), BGP tables from 15 ASes' Looking Glass servers (LOCAL_PREF and
+communities visible, 3 of them Tier-1s), and the IRR database.  A
+:class:`StudyDataset` is the offline substitute: one synthetic Internet, one
+policy assignment, one propagation run observed at the collector's vantage
+ASes and at the Looking Glass ASes, plus a synthetic IRR.
+
+Everything the experiment modules need hangs off this object, and
+:func:`default_dataset` memoises the standard configuration so the benchmark
+harness pays the simulation cost only once per session.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from dataclasses import dataclass, field
+
+from repro.data.rpsl import IrrDatabase
+from repro.exceptions import SimulationError
+from repro.net.asn import ASN
+from repro.simulation.collector import CollectorTable, LookingGlass, RouteViewsCollector
+from repro.simulation.policies import PolicyAssignment, PolicyGenerator, PolicyParameters
+from repro.simulation.propagation import PropagationEngine, SimulationResult
+from repro.topology.generator import GeneratorParameters, InternetGenerator, SyntheticInternet
+
+#: Regions used to synthesise the Table 1 style inventory.
+_REGIONS = ("NA", "Eu", "Au", "As")
+_REGION_WEIGHTS = (0.55, 0.35, 0.05, 0.05)
+
+
+@dataclass
+class DatasetParameters:
+    """Configuration of the study dataset.
+
+    The default topology is deliberately smaller than the default
+    :class:`GeneratorParameters` Internet so that the full experiment suite
+    runs in minutes; the scale can be raised without touching any experiment
+    code.
+
+    Attributes:
+        topology: the synthetic-Internet generator parameters.
+        policy: the policy-generator parameters.
+        looking_glass_count: number of Looking Glass ASes (the paper has 15).
+        tier1_looking_glass_count: how many of them are Tier-1s (paper: 3).
+        collector_vantage_count: number of ASes peering with the collector
+            (the paper's Oregon server peers with 56).
+        irr_registration_probability: fraction of ASes registered in the IRR.
+        irr_stale_probability: fraction of registered objects that are stale.
+        seed: seed for vantage/looking-glass sampling and Table 1 metadata.
+    """
+
+    topology: GeneratorParameters = field(
+        default_factory=lambda: GeneratorParameters(
+            seed=2002,
+            tier1_count=6,
+            tier2_count=18,
+            tier3_count=45,
+            stub_count=260,
+        )
+    )
+    policy: PolicyParameters = field(default_factory=PolicyParameters)
+    looking_glass_count: int = 15
+    tier1_looking_glass_count: int = 3
+    collector_vantage_count: int = 24
+    irr_registration_probability: float = 0.7
+    irr_stale_probability: float = 0.15
+    seed: int = 1118
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` on inconsistent settings."""
+        if self.tier1_looking_glass_count > self.looking_glass_count:
+            raise SimulationError(
+                "tier1_looking_glass_count cannot exceed looking_glass_count"
+            )
+        if self.collector_vantage_count < 1:
+            raise SimulationError("collector_vantage_count must be at least 1")
+
+
+@dataclass
+class ASInfo:
+    """Table 1 style metadata about one AS in the dataset."""
+
+    asn: ASN
+    name: str
+    degree: int
+    location: str
+    tier: int
+    is_looking_glass: bool = False
+    is_vantage: bool = False
+
+
+@dataclass
+class StudyDataset:
+    """The complete dataset every experiment consumes.
+
+    Attributes:
+        parameters: the dataset configuration.
+        internet: the synthetic Internet (topology, tiers, prefixes).
+        assignment: the per-AS policies (with ground truth).
+        result: the propagation result observed at vantage + Looking Glass ASes.
+        collector: the RouteViews-style collector table.
+        looking_glasses: Looking Glass views keyed by AS.
+        irr: the synthetic IRR database.
+        vantage_ases: ASes peering with the collector.
+        looking_glass_ases: ASes with a Looking Glass.
+        as_info: Table 1 style metadata per AS in the dataset inventory.
+    """
+
+    parameters: DatasetParameters
+    internet: SyntheticInternet
+    assignment: PolicyAssignment
+    result: SimulationResult
+    collector: CollectorTable
+    looking_glasses: dict[ASN, LookingGlass]
+    irr: IrrDatabase
+    vantage_ases: list[ASN]
+    looking_glass_ases: list[ASN]
+    as_info: dict[ASN, ASInfo] = field(default_factory=dict)
+
+    # -- convenience used across experiments -----------------------------------
+
+    @property
+    def tier1_ases(self) -> list[ASN]:
+        """The Tier-1 clique of the synthetic Internet."""
+        return self.internet.tier1
+
+    @property
+    def ground_truth_graph(self):
+        """The ground-truth annotated AS graph."""
+        return self.internet.graph
+
+    def looking_glass_of(self, asn: ASN) -> LookingGlass:
+        """Return the Looking Glass view of an AS.
+
+        Raises:
+            SimulationError: if the AS has no Looking Glass in this dataset.
+        """
+        glass = self.looking_glasses.get(asn)
+        if glass is None:
+            raise SimulationError(f"AS{asn} has no Looking Glass in this dataset")
+        return glass
+
+    def providers_under_study(self, count: int = 3) -> list[ASN]:
+        """The largest Tier-1 ASes (by degree), mirroring AS1/AS3549/AS7018."""
+        return sorted(
+            self.tier1_ases,
+            key=lambda asn: self.ground_truth_graph.degree(asn),
+            reverse=True,
+        )[:count]
+
+
+def build_dataset(parameters: DatasetParameters | None = None) -> StudyDataset:
+    """Generate the Internet, assign policies, simulate, and observe.
+
+    This is the one entry point the examples, tests and benchmarks use to get
+    a fully populated dataset.
+    """
+    params = parameters or DatasetParameters()
+    params.validate()
+    rng = random.Random(params.seed)
+
+    internet = InternetGenerator(params.topology).generate()
+    graph = internet.graph
+    tier1 = internet.tier1
+
+    # Pick the Looking Glass ASes: a few Tier-1s plus transit ASes below them.
+    non_tier1_transit = sorted(
+        asn for asn in graph.ases() if asn not in set(tier1) and graph.customers_of(asn)
+    )
+    tier1_lg = tier1[: params.tier1_looking_glass_count]
+    other_lg_count = min(
+        params.looking_glass_count - len(tier1_lg), len(non_tier1_transit)
+    )
+    other_lg = rng.sample(non_tier1_transit, k=other_lg_count) if other_lg_count else []
+    looking_glass_ases = sorted(set(tier1_lg) | set(other_lg))
+
+    # Pick the collector's vantage ASes: every Tier-1 plus large transit ASes.
+    vantage_pool = sorted(
+        (asn for asn in non_tier1_transit), key=graph.degree, reverse=True
+    )
+    extra_vantages = vantage_pool[: max(0, params.collector_vantage_count - len(tier1))]
+    vantage_ases = sorted(set(tier1) | set(extra_vantages))
+
+    policy_generator = PolicyGenerator(params.policy)
+    assignment = policy_generator.generate(internet, looking_glass_ases=looking_glass_ases)
+
+    observed = sorted(set(vantage_ases) | set(looking_glass_ases))
+    engine = PropagationEngine(internet, assignment, observed_ases=observed)
+    result = engine.run()
+
+    collector = RouteViewsCollector(vantage_ases).collect(result)
+    looking_glasses = {
+        asn: LookingGlass.from_result(result, asn) for asn in looking_glass_ases
+    }
+    irr = IrrDatabase.from_assignment(
+        internet,
+        assignment,
+        registration_probability=params.irr_registration_probability,
+        stale_probability=params.irr_stale_probability,
+        seed=params.seed,
+    )
+
+    dataset = StudyDataset(
+        parameters=params,
+        internet=internet,
+        assignment=assignment,
+        result=result,
+        collector=collector,
+        looking_glasses=looking_glasses,
+        irr=irr,
+        vantage_ases=vantage_ases,
+        looking_glass_ases=looking_glass_ases,
+    )
+    _attach_as_info(dataset, rng)
+    return dataset
+
+
+def _attach_as_info(dataset: StudyDataset, rng: random.Random) -> None:
+    """Synthesise the Table 1 style inventory for the dataset's vantage points."""
+    graph = dataset.ground_truth_graph
+    tiers = dataset.internet.tiers
+    inventory_ases = sorted(set(dataset.vantage_ases) | set(dataset.looking_glass_ases))
+    for asn in inventory_ases:
+        location = rng.choices(_REGIONS, weights=_REGION_WEIGHTS, k=1)[0]
+        dataset.as_info[asn] = ASInfo(
+            asn=asn,
+            name=f"AS{asn} Networks",
+            degree=graph.degree(asn),
+            location=location,
+            tier=tiers.tier_of(asn),
+            is_looking_glass=asn in set(dataset.looking_glass_ases),
+            is_vantage=asn in set(dataset.vantage_ases),
+        )
+
+
+@functools.lru_cache(maxsize=2)
+def default_dataset() -> StudyDataset:
+    """The memoised standard dataset shared by experiments and benchmarks."""
+    return build_dataset(DatasetParameters())
+
+
+@functools.lru_cache(maxsize=2)
+def small_dataset() -> StudyDataset:
+    """A smaller memoised dataset for quick runs and the test suite."""
+    parameters = DatasetParameters(
+        topology=GeneratorParameters(
+            seed=7, tier1_count=5, tier2_count=10, tier3_count=20, stub_count=110
+        ),
+        looking_glass_count=8,
+        tier1_looking_glass_count=3,
+        collector_vantage_count=12,
+    )
+    return build_dataset(parameters)

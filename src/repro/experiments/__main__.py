@@ -1,0 +1,60 @@
+"""Command-line entry point: run the experiments and print the tables.
+
+Usage::
+
+    python -m repro.experiments                 # run everything (standard dataset)
+    python -m repro.experiments table5 fig2     # run selected experiments
+    python -m repro.experiments --small         # use the small dataset (quick)
+    python -m repro.experiments --list          # list experiment identifiers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.dataset import default_dataset, small_dataset
+from repro.experiments.registry import all_experiments, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their rendered results."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of Wang & Gao (IMC 2003).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment identifiers to run (default: all)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the small dataset for a quick run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_only", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_only:
+        for experiment in all_experiments():
+            print(f"{experiment.experiment_id:10s} {experiment.title}")
+        return 0
+
+    dataset = small_dataset() if args.small else default_dataset()
+    if args.experiments:
+        selected = [get_experiment(identifier) for identifier in args.experiments]
+    else:
+        selected = all_experiments()
+
+    for experiment in selected:
+        result = experiment.run(dataset)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

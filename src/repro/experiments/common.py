@@ -1,0 +1,106 @@
+"""Shared, memoised computations used by several experiments.
+
+Several tables consume the same intermediate products (the SA-prefix reports
+of the studied providers, the set of tagging Looking Glass ASes, the
+persistence timeline).  Computing them once per dataset keeps the experiment
+suite fast; the caches are keyed by dataset identity so different datasets
+never share results.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bgp.rib import LocRib
+from repro.core.export_policy import ExportPolicyAnalyzer, SAPrefixReport
+from repro.data.dataset import StudyDataset
+from repro.net.asn import ASN
+from repro.simulation.collector import LookingGlass
+from repro.simulation.policies import PolicyGenerator, PolicyParameters
+from repro.simulation.timeline import Snapshot, Timeline, TimelineParameters
+from repro.topology.generator import GeneratorParameters, InternetGenerator
+
+#: Number of providers studied in the SA-prefix experiments ("AS1, AS3549 and
+#: AS7018" in the paper).
+STUDY_PROVIDER_COUNT = 3
+
+_sa_cache: dict[int, dict[ASN, SAPrefixReport]] = {}
+_table_cache: dict[int, dict[ASN, LocRib]] = {}
+
+
+def provider_tables(dataset: StudyDataset, count: int | None = None) -> dict[ASN, LocRib]:
+    """The routing tables of the studied (largest Tier-1) providers."""
+    key = id(dataset)
+    if key not in _table_cache:
+        providers = dataset.providers_under_study(count or STUDY_PROVIDER_COUNT)
+        _table_cache[key] = {
+            provider: dataset.result.table_of(provider) for provider in providers
+        }
+    return _table_cache[key]
+
+
+def sa_reports(dataset: StudyDataset) -> dict[ASN, SAPrefixReport]:
+    """The Fig. 4 SA-prefix reports for the studied providers."""
+    key = id(dataset)
+    if key not in _sa_cache:
+        analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
+        _sa_cache[key] = analyzer.analyze_providers(
+            provider_tables(dataset),
+            known_customer_prefixes=dataset.internet.originated,
+        )
+    return _sa_cache[key]
+
+
+def all_provider_reports(dataset: StudyDataset) -> dict[ASN, SAPrefixReport]:
+    """SA-prefix reports for every observed AS that has customers (Table 5)."""
+    analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
+    graph = dataset.ground_truth_graph
+    tables = {
+        asn: dataset.result.table_of(asn)
+        for asn in dataset.result.observed_ases
+        if graph.customers_of(asn)
+    }
+    return analyzer.analyze_providers(
+        tables, known_customer_prefixes=dataset.internet.originated
+    )
+
+
+def tagging_glasses(dataset: StudyDataset) -> list[LookingGlass]:
+    """Looking Glass ASes that tag routes with relationship communities."""
+    return [
+        dataset.looking_glass_of(asn)
+        for asn in dataset.looking_glass_ases
+        if dataset.assignment.policies[asn].community_plan is not None
+    ]
+
+
+@functools.lru_cache(maxsize=4)
+def persistence_snapshots(
+    snapshot_count: int = 31, seed: int = 315
+) -> tuple[ASN, tuple[Snapshot, ...], object]:
+    """A memoised persistence timeline on a dedicated small Internet.
+
+    The persistence study (Figs. 6 and 7) re-simulates the Internet once per
+    snapshot, so it runs on a smaller topology than the main dataset.
+    Returns ``(studied provider, snapshots, annotated graph)``.
+    """
+    internet = InternetGenerator(
+        GeneratorParameters(
+            seed=777, tier1_count=4, tier2_count=8, tier3_count=16, stub_count=90
+        )
+    ).generate()
+    assignment = PolicyGenerator(PolicyParameters(seed=915)).generate(internet)
+    provider = max(internet.tier1, key=internet.graph.degree)
+    timeline = Timeline(
+        internet,
+        assignment,
+        observed_ases=[provider],
+        parameters=TimelineParameters(
+            snapshot_count=snapshot_count,
+            churn_probability=0.015,
+            appear_probability=0.008,
+            disappear_probability=0.005,
+            seed=seed,
+        ),
+    )
+    return provider, tuple(timeline.run()), internet.graph

@@ -1,0 +1,48 @@
+"""Figure 9 — number of prefixes announced by each next-hop AS."""
+
+from __future__ import annotations
+
+from repro.core.community import CommunityAnalyzer
+from repro.data.dataset import StudyDataset
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.registry import register
+
+
+@register
+class Figure9Experiment(Experiment):
+    """Prefix counts by next-hop AS rank for three Looking Glass ASes."""
+
+    experiment_id = "fig9"
+    title = "Prefixes announced by the next-hop ASes, by rank"
+    paper_reference = "Figure 9, Appendix"
+
+    #: How many Looking Glass ASes to plot (the paper shows AS1, AS3549 and
+    #: AS8736 — two provider-free ASes and one with a provider).
+    view_count = 3
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        analyzer = CommunityAnalyzer()
+        tier1 = set(dataset.tier1_ases)
+        looking_glass = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
+        # Two provider-free (Tier-1) views plus one view of an AS that has
+        # providers, mirroring the paper's three panels.
+        tier1_views = [glass for glass in looking_glass if glass.asn in tier1][:2]
+        lower_views = [glass for glass in looking_glass if glass.asn not in tier1][:1]
+        views = tier1_views + lower_views
+        result.headers = ["view AS", "has providers", "rank", "next-hop AS", "# prefixes"]
+        graph = dataset.ground_truth_graph
+        for glass in views[: self.view_count]:
+            has_providers = bool(graph.providers_of(glass.asn))
+            ranked = analyzer.prefix_counts_by_rank(glass)
+            for rank, (neighbor, count) in enumerate(ranked, start=1):
+                result.rows.append(
+                    [f"AS{glass.asn}", "yes" if has_providers else "no", rank,
+                     f"AS{neighbor}", count]
+                )
+        result.notes.append(
+            "Paper Fig. 9: a provider announces ~the full table (the 100k+ outlier at "
+            "AS8736); for provider-free ASes the top announcers are peers and the tail "
+            "of 1-2 prefix announcers are customers."
+        )
+        return result

@@ -1,0 +1,38 @@
+"""Registry of experiments, keyed by experiment identifier."""
+
+from __future__ import annotations
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import Experiment
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment_class: type[Experiment]) -> type[Experiment]:
+    """Class decorator: instantiate and register an experiment."""
+    instance = experiment_class()
+    if not instance.experiment_id:
+        raise ExperimentError(f"{experiment_class.__name__} has no experiment_id")
+    if instance.experiment_id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id: {instance.experiment_id}")
+    _REGISTRY[instance.experiment_id] = instance
+    return experiment_class
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by identifier.
+
+    Raises:
+        ExperimentError: for unknown identifiers.
+    """
+    experiment = _REGISTRY.get(experiment_id)
+    if experiment is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        )
+    return experiment
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment, ordered by identifier."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

@@ -1,0 +1,58 @@
+"""Table 11 — an AS's relationship-tagging community plan."""
+
+from __future__ import annotations
+
+from repro.core.community import CommunityAnalyzer
+from repro.data.dataset import StudyDataset
+from repro.exceptions import ExperimentError
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import tagging_glasses
+from repro.experiments.registry import register
+from repro.topology.graph import Relationship
+
+
+@register
+class Table11Experiment(Experiment):
+    """The published community plan of one tagging AS, next to the inferred meaning."""
+
+    experiment_id = "table11"
+    title = "Tagging communities of one AS (published plan vs. inferred semantics)"
+    paper_reference = "Table 11, Appendix"
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        glasses = tagging_glasses(dataset)
+        if not glasses:
+            raise ExperimentError("the dataset has no community-tagging Looking Glass AS")
+        # Prefer a tagging AS that has providers (AS12859 in the paper is a
+        # mid-size ISP), so all three ranges are exercised; break ties by the
+        # number of visible neighbors.
+        graph = dataset.ground_truth_graph
+        glass = max(
+            glasses,
+            key=lambda g: (bool(graph.providers_of(g.asn)), len(g.neighbors())),
+        )
+        plan = dataset.assignment.policies[glass.asn].community_plan
+        analyzer = CommunityAnalyzer()
+        semantics = analyzer.infer_semantics(glass)
+        result.headers = ["community range", "published meaning", "inferred meaning"]
+        for relationship in (Relationship.PEER, Relationship.PROVIDER, Relationship.CUSTOMER):
+            base = plan.base_for(relationship)
+            bucket = base // 1000
+            inferred = semantics.value_to_relationship.get(bucket)
+            result.rows.append(
+                [
+                    f"{glass.asn}:{base}-{glass.asn}:{base + plan.range_size - 1}",
+                    f"route received from {relationship.value}",
+                    f"route received from {inferred.value}" if inferred else "(not inferred)",
+                ]
+            )
+        result.notes.append(
+            f"tagging AS under study: AS{glass.asn} "
+            f"({len(glass.neighbors())} neighbors visible)"
+        )
+        result.notes.append(
+            "Paper Table 11 lists AS12859's published values: 1000-range = peers, "
+            "2000-range = transit providers, 4000 = customers."
+        )
+        return result

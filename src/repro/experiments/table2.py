@@ -1,0 +1,40 @@
+"""Table 2 — typical LOCAL_PREF assignment from Looking Glass tables."""
+
+from __future__ import annotations
+
+from repro.core.import_policy import ImportPolicyAnalyzer
+from repro.data.dataset import StudyDataset
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.registry import register
+from repro.reporting.tables import format_percent
+
+
+@register
+class Table2Experiment(Experiment):
+    """Percentage of prefixes with typical LOCAL_PREF per Looking Glass AS."""
+
+    experiment_id = "table2"
+    title = "Typical local preference assignment (from BGP tables)"
+    paper_reference = "Table 2, Section 4.1"
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        analyzer = ImportPolicyAnalyzer(dataset.ground_truth_graph)
+        glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
+        rows = analyzer.analyze_many(glasses)
+        result.headers = ["AS", "comparable prefixes", "% typical local preference"]
+        for row in sorted(rows, key=lambda r: r.asn):
+            result.rows.append(
+                [f"AS{row.asn}", row.comparable_prefixes, format_percent(row.percent_typical, 2)]
+            )
+        overall_total = sum(r.comparable_prefixes for r in rows)
+        overall_typical = sum(r.typical_prefixes for r in rows)
+        if overall_total:
+            result.notes.append(
+                "overall typical fraction: "
+                + format_percent(100.0 * overall_typical / overall_total, 2)
+            )
+        result.notes.append(
+            "Paper Table 2: 94.3%-100% typical across the 15 Looking Glass ASes."
+        )
+        return result

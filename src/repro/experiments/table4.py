@@ -1,0 +1,43 @@
+"""Table 4 — AS relationships verified through BGP communities."""
+
+from __future__ import annotations
+
+from repro.core.community import CommunityAnalyzer
+from repro.core.verification import Verifier
+from repro.data.dataset import StudyDataset
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import tagging_glasses
+from repro.experiments.registry import register
+from repro.relationships.gao import GaoInference
+from repro.reporting.tables import format_percent
+
+
+@register
+class Table4Experiment(Experiment):
+    """Fraction of each tagging AS's neighbor relationships verified."""
+
+    experiment_id = "table4"
+    title = "AS relationships verified via community semantics"
+    paper_reference = "Table 4, Section 4.3 and Appendix"
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        # The paper verifies *inferred* relationships; infer them from the
+        # collector's AS paths first, then check against the communities.
+        inferred = GaoInference().infer(dataset.collector.all_paths()).graph
+        verifier = Verifier(inferred, CommunityAnalyzer())
+        rows = verifier.verify_relationships(tagging_glasses(dataset))
+        result.headers = ["AS", "# neighbors", "verifiable", "% relationships verified"]
+        for row in sorted(rows, key=lambda r: r.asn):
+            result.rows.append(
+                [
+                    f"AS{row.asn}",
+                    row.neighbor_count,
+                    row.verifiable_neighbors,
+                    format_percent(row.percent_verified, 2),
+                ]
+            )
+        result.notes.append(
+            "Paper Table 4: 94.1%-99.55% of the 9 ASes' neighbor relationships verified."
+        )
+        return result

@@ -1,0 +1,50 @@
+"""Table 5 — percentage of SA prefixes per provider."""
+
+from __future__ import annotations
+
+from repro.data.dataset import StudyDataset
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import all_provider_reports
+from repro.experiments.registry import register
+from repro.reporting.tables import format_percent
+
+
+@register
+class Table5Experiment(Experiment):
+    """Prevalence of selectively announced prefixes across providers."""
+
+    experiment_id = "table5"
+    title = "Percentage of SA prefixes per provider"
+    paper_reference = "Table 5, Section 5.1.2"
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        reports = all_provider_reports(dataset)
+        tier1 = set(dataset.tier1_ases)
+        result.headers = [
+            "provider",
+            "tier-1",
+            "customer prefixes",
+            "SA prefixes",
+            "% SA prefixes",
+        ]
+        ordered = sorted(
+            reports.items(), key=lambda item: item[1].percent_sa, reverse=True
+        )
+        for provider, report in ordered:
+            if report.customer_prefix_count == 0:
+                continue
+            result.rows.append(
+                [
+                    f"AS{provider}",
+                    "yes" if provider in tier1 else "",
+                    report.customer_prefix_count,
+                    report.sa_prefix_count,
+                    format_percent(report.percent_sa, 1),
+                ]
+            )
+        result.notes.append(
+            "Paper Table 5: 0%-48.6% SA prefixes across 16 ASes; the large Tier-1s "
+            "(AS1, AS3549, AS7018) see 22%-32%."
+        )
+        return result

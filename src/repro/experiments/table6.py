@@ -1,0 +1,50 @@
+"""Table 6 — SA prefixes from the viewpoint of shared customers."""
+
+from __future__ import annotations
+
+from repro.core.export_policy import ExportPolicyAnalyzer
+from repro.data.dataset import StudyDataset
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import provider_tables, sa_reports
+from repro.experiments.registry import register
+from repro.reporting.tables import format_percent
+
+
+@register
+class Table6Experiment(Experiment):
+    """Customers whose prefixes are SA for the studied Tier-1 providers."""
+
+    experiment_id = "table6"
+    title = "Per-customer SA prefixes for the three studied providers"
+    paper_reference = "Table 6, Section 5.1.2"
+
+    #: Minimum number of originated prefixes for a customer to be listed
+    #: (the paper selects 8 customers "which originate a significant number
+    #: of prefixes").
+    min_prefixes = 3
+    #: Maximum number of rows reported.
+    max_rows = 8
+
+    def run(self, dataset: StudyDataset) -> ExperimentResult:
+        result = self._result()
+        analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
+        rows = analyzer.analyze_customers(
+            sa_reports(dataset), provider_tables(dataset), min_prefixes=self.min_prefixes
+        )
+        result.headers = ["customer", "# prefixes", "# SA prefixes", "% SA"]
+        for row in rows[: self.max_rows]:
+            result.rows.append(
+                [
+                    f"AS{row.customer}",
+                    row.prefix_count,
+                    row.sa_prefix_count,
+                    format_percent(row.percent_sa, 0),
+                ]
+            )
+        providers = ", ".join(f"AS{p}" for p in sorted(sa_reports(dataset)))
+        result.notes.append(f"studied providers: {providers}")
+        result.notes.append(
+            "Paper Table 6: 17%-97% of the selected customers' prefixes are SA "
+            "for AS1/AS3549/AS7018."
+        )
+        return result

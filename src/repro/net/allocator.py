@@ -1,0 +1,147 @@
+"""Address-space allocation for the synthetic Internet.
+
+The topology generator needs to hand out prefixes to ASes the way the real
+Internet did circa 2002:
+
+* large providers receive big blocks directly ("provider-independent" space),
+* some customers receive sub-allocations carved out of their provider's block
+  ("provider-assigned" space) — exactly the situation that makes *prefix
+  aggregating* possible (paper Section 5.1.5, Case 2), and
+* some ASes split one of their prefixes into more-specifics for traffic
+  engineering — the *prefix splitting* case (Case 1).
+
+:class:`AddressAllocator` tracks which AS owns which block and who carved a
+block out of whose space, so the causes analysis can be validated against
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import PrefixError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class AddressBlock:
+    """One allocated block of address space.
+
+    Attributes:
+        prefix: the allocated prefix.
+        owner: AS number the block was allocated to.
+        parent_owner: AS number of the provider the block was carved out of,
+            or ``None`` for a direct (provider-independent) allocation.
+    """
+
+    prefix: Prefix
+    owner: ASN
+    parent_owner: ASN | None = None
+
+    @property
+    def is_provider_assigned(self) -> bool:
+        """``True`` when the block was sub-allocated out of a provider's space."""
+        return self.parent_owner is not None
+
+
+@dataclass
+class AddressAllocator:
+    """Sequentially allocates non-overlapping blocks from a private pool.
+
+    The pool starts at ``base`` (default ``10.0.0.0``) and walks upward in
+    units of the requested block size.  Sub-allocations are carved from the
+    *unused tail* of a previously allocated block.
+
+    Attributes:
+        base: first address of the pool (dotted quad).
+        blocks: every block handed out so far, in allocation order.
+    """
+
+    base: str = "10.0.0.0"
+    blocks: list[AddressBlock] = field(default_factory=list)
+    _cursor: int = field(default=0, init=False)
+    _sub_cursors: dict[Prefix, int] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        from repro.net.prefix import parse_ipv4
+
+        self._cursor = parse_ipv4(self.base)
+
+    # -- direct allocations ------------------------------------------------
+
+    def allocate(self, owner: ASN, length: int) -> AddressBlock:
+        """Allocate the next free block of the given prefix length to ``owner``."""
+        if not (8 <= length <= 30):
+            raise PrefixError(f"unsupported allocation length: /{length}")
+        size = 1 << (32 - length)
+        # Align the cursor to the block size so the prefix is canonical.
+        if self._cursor % size:
+            self._cursor += size - (self._cursor % size)
+        prefix = Prefix(self._cursor, length)
+        self._cursor += size
+        block = AddressBlock(prefix=prefix, owner=owner)
+        self.blocks.append(block)
+        return block
+
+    def allocate_many(self, owner: ASN, length: int, count: int) -> list[AddressBlock]:
+        """Allocate ``count`` blocks of the same length to ``owner``."""
+        return [self.allocate(owner, length) for _ in range(count)]
+
+    # -- provider-assigned sub-allocations --------------------------------------
+
+    def suballocate(
+        self, parent: AddressBlock, owner: ASN, length: int
+    ) -> AddressBlock:
+        """Carve a more-specific block for ``owner`` out of ``parent``.
+
+        Sub-allocations from the same parent never overlap; they are carved
+        sequentially from the start of the parent block.
+
+        Raises:
+            PrefixError: if the requested length does not fit inside the
+                parent or the parent block is exhausted.
+        """
+        if length <= parent.prefix.length:
+            raise PrefixError(
+                f"sub-allocation /{length} is not more specific than parent "
+                f"{parent.prefix}"
+            )
+        size = 1 << (32 - length)
+        cursor = self._sub_cursors.get(parent.prefix, parent.prefix.network)
+        if cursor + size - 1 > parent.prefix.broadcast:
+            raise PrefixError(f"parent block {parent.prefix} is exhausted")
+        prefix = Prefix(cursor, length)
+        self._sub_cursors[parent.prefix] = cursor + size
+        block = AddressBlock(prefix=prefix, owner=owner, parent_owner=parent.owner)
+        self.blocks.append(block)
+        return block
+
+    # -- queries -------------------------------------------------------------
+
+    def blocks_of(self, owner: ASN) -> list[AddressBlock]:
+        """Return every block allocated to ``owner`` (direct and provider-assigned)."""
+        return [block for block in self.blocks if block.owner == owner]
+
+    def prefixes_of(self, owner: ASN) -> list[Prefix]:
+        """Return the prefixes of every block allocated to ``owner``."""
+        return [block.prefix for block in self.blocks_of(owner)]
+
+    def owner_of(self, prefix: Prefix) -> ASN | None:
+        """Return the AS that owns the most specific allocated block covering ``prefix``."""
+        best: AddressBlock | None = None
+        for block in self.blocks:
+            if block.prefix.contains(prefix):
+                if best is None or block.prefix.length > best.prefix.length:
+                    best = block
+        return best.owner if best else None
+
+    def provider_assigned_blocks(self) -> Iterator[AddressBlock]:
+        """Yield every block that was sub-allocated from a provider's space."""
+        for block in self.blocks:
+            if block.is_provider_assigned:
+                yield block
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,27 @@
+"""AS-relationship inference.
+
+The paper's pipeline "relies on AS relationships" inferred from BGP tables
+(Section 3) using Gao's algorithm (reference [12]); Section 4.3 and the
+Appendix then bound the error this introduces.  This subpackage implements:
+
+* :mod:`repro.relationships.gao` — Gao's degree-based inference from AS
+  paths (ToN 2001): transit-degree ranking along each path, provider/customer
+  assignment, and the peer heuristic.
+* :mod:`repro.relationships.sark` — a simpler rank-based variant in the
+  spirit of Subramanian et al. (used as a cross-check baseline).
+* :mod:`repro.relationships.validation` — accuracy measurement of inferred
+  relationships against ground truth or against community evidence, feeding
+  Table 4.
+"""
+
+from repro.relationships.gao import GaoInference, InferredRelationships
+from repro.relationships.sark import RankBasedInference
+from repro.relationships.validation import RelationshipAccuracy, compare_with_ground_truth
+
+__all__ = [
+    "GaoInference",
+    "InferredRelationships",
+    "RankBasedInference",
+    "RelationshipAccuracy",
+    "compare_with_ground_truth",
+]

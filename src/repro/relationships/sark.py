@@ -1,0 +1,72 @@
+"""Rank-based relationship inference (baseline, in the spirit of reference [8]).
+
+Subramanian, Agarwal, Rexford and Katz infer relationships by ranking ASes
+from multiple vantage points and orienting each edge from the higher-ranked
+(larger) AS to the lower-ranked one.  The paper uses that work for tier
+classification; here the rank-based inference doubles as a simple baseline to
+cross-check the Gao-style inference on the synthetic Internet.
+
+The implementation ranks ASes by degree computed over the supplied paths and
+classifies each observed edge:
+
+* degrees within ``peer_ratio`` of each other → peer-to-peer,
+* otherwise → provider-to-customer with the higher-degree AS as provider.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InferenceError
+from repro.net.asn import ASN
+from repro.net.aspath import ASPath
+from repro.relationships.gao import InferredRelationships
+from repro.topology.graph import AnnotatedASGraph
+
+
+class RankBasedInference:
+    """Degree-rank relationship inference baseline.
+
+    Args:
+        peer_ratio: two ASes are called peers when the ratio of their degrees
+            is at most this value.
+    """
+
+    def __init__(self, peer_ratio: float = 2.0) -> None:
+        if peer_ratio < 1.0:
+            raise InferenceError("peer_ratio must be >= 1")
+        self.peer_ratio = peer_ratio
+
+    def infer(self, paths: Iterable[ASPath | Iterable[ASN]]) -> InferredRelationships:
+        """Infer relationships for every edge observed in the paths."""
+        edges: set[frozenset[ASN]] = set()
+        neighbors: dict[ASN, set[ASN]] = {}
+        usable = False
+        for path in paths:
+            as_path = path if isinstance(path, ASPath) else ASPath(path)
+            collapsed = as_path.deduplicate().asns
+            if len(collapsed) < 2:
+                continue
+            usable = True
+            for left, right in zip(collapsed, collapsed[1:]):
+                edges.add(frozenset((left, right)))
+                neighbors.setdefault(left, set()).add(right)
+                neighbors.setdefault(right, set()).add(left)
+        if not usable:
+            raise InferenceError("no usable AS paths supplied")
+        degrees = {asn: len(adjacent) for asn, adjacent in neighbors.items()}
+        graph = AnnotatedASGraph()
+        for asn in degrees:
+            graph.add_as(asn)
+        for edge in edges:
+            left, right = sorted(edge)
+            left_degree = max(degrees[left], 1)
+            right_degree = max(degrees[right], 1)
+            ratio = max(left_degree, right_degree) / min(left_degree, right_degree)
+            if ratio <= self.peer_ratio:
+                graph.add_peer_peer(left, right)
+            elif left_degree > right_degree:
+                graph.add_provider_customer(left, right)
+            else:
+                graph.add_provider_customer(right, left)
+        return InferredRelationships(graph=graph, degrees=degrees)

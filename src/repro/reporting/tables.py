@@ -1,0 +1,58 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a percentage the way the paper's tables do (e.g. ``"97.6%"``)."""
+    return f"{value:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Cells are stringified with ``str``; numeric cells are right-aligned,
+    everything else left-aligned.
+    """
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+
+    def is_numeric(cell: str) -> bool:
+        stripped = cell.rstrip("%")
+        try:
+            float(stripped)
+        except ValueError:
+            return False
+        return True
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index in range(columns):
+            cell = cells[index] if index < len(cells) else ""
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

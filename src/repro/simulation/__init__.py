@@ -1,0 +1,60 @@
+"""Policy-aware BGP route propagation over the synthetic Internet.
+
+This subpackage is the substitute for the paper's measurement substrate
+(Oregon RouteViews, Looking Glass servers, AT&T's backbone tables): routes
+are originated by the ASes of a :class:`~repro.topology.generator.SyntheticInternet`,
+propagated AS by AS under configurable import and export policies, and
+observed at collector and Looking Glass vantage points.
+
+* :mod:`repro.simulation.policies` — per-AS policy configuration and the
+  seeded policy generator (local-preference schemes, selective announcement,
+  community tagging, peer-export behaviour).
+* :mod:`repro.simulation.propagation` — the message-passing propagation
+  engine implementing the decision process and the Gao–Rexford export rules
+  plus the configured policies.
+* :mod:`repro.simulation.collector` — RouteViews-style collectors and
+  Looking Glass views (including multi-router views of one AS).
+* :mod:`repro.simulation.timeline` — repeated simulation under policy churn,
+  producing the daily/hourly snapshots of the persistence study.
+* :mod:`repro.simulation.scenario` — small hand-built scenarios reproducing
+  the paper's illustrative figures (Figs. 1, 3, 5 and 8).
+"""
+
+from repro.simulation.policies import (
+    ASPolicy,
+    CommunityPlan,
+    LocalPrefScheme,
+    PolicyGenerator,
+    PolicyParameters,
+)
+from repro.simulation.propagation import PropagationEngine, SimulationResult
+from repro.simulation.collector import CollectorTable, LookingGlass, RouteViewsCollector
+from repro.simulation.timeline import Snapshot, Timeline, TimelineParameters
+from repro.simulation.scenario import (
+    figure1_scenario,
+    figure3_scenario,
+    figure5_scenario,
+    figure8_multihomed_scenario,
+    figure8_singlehomed_scenario,
+)
+
+__all__ = [
+    "ASPolicy",
+    "CollectorTable",
+    "CommunityPlan",
+    "LocalPrefScheme",
+    "LookingGlass",
+    "PolicyGenerator",
+    "PolicyParameters",
+    "PropagationEngine",
+    "RouteViewsCollector",
+    "SimulationResult",
+    "Snapshot",
+    "Timeline",
+    "TimelineParameters",
+    "figure1_scenario",
+    "figure3_scenario",
+    "figure5_scenario",
+    "figure8_multihomed_scenario",
+    "figure8_singlehomed_scenario",
+]

@@ -1,0 +1,27 @@
+"""AS-level topology substrate: the annotated AS graph and its generators.
+
+* :mod:`repro.topology.graph` — the annotated AS graph of paper Section 2.1
+  (provider-to-customer and peer-to-peer edges), customer cones, and the
+  modified depth-first search for customer paths used by the export-policy
+  inference algorithm (paper Fig. 4, Phase 2).
+* :mod:`repro.topology.hierarchy` — tier classification of ASes
+  (Tier-1 clique detection and downward levels), used to pick the providers
+  studied in Tables 5–10.
+* :mod:`repro.topology.generator` — the synthetic hierarchical Internet the
+  experiments run on, with ground-truth relationships, multihoming, and
+  address allocation.
+"""
+
+from repro.topology.graph import AnnotatedASGraph, Relationship
+from repro.topology.hierarchy import TierClassification, classify_tiers
+from repro.topology.generator import GeneratorParameters, InternetGenerator, SyntheticInternet
+
+__all__ = [
+    "AnnotatedASGraph",
+    "GeneratorParameters",
+    "InternetGenerator",
+    "Relationship",
+    "SyntheticInternet",
+    "TierClassification",
+    "classify_tiers",
+]

@@ -1,0 +1,386 @@
+"""The annotated AS graph (paper Section 2.1) and customer-path search.
+
+An annotated AS graph is ``G = (V, E)`` where the nodes are ASes and each
+edge is labelled *provider-to-customer* or *peer-to-peer*.  On top of the raw
+graph this module provides the primitives the paper's algorithms need:
+
+* neighbor classification (customers / peers / providers of an AS),
+* the *customer cone* — every AS reachable by walking provider→customer
+  edges downward,
+* :meth:`AnnotatedASGraph.find_customer_path` / ``is_customer_of`` — the
+  modified depth-first search of the Fig. 4 algorithm (Phase 2), which only
+  follows provider-to-customer edges so every discovered path is a valid
+  customer path under the export rules of Section 2.2.2, and
+* valley-free path validation, used both by the propagation engine and by
+  the verification step of Section 5.1.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import TopologyError
+from repro.net.asn import ASN
+from repro.net.aspath import ASPath
+
+
+class Relationship(enum.Enum):
+    """The relationship of a neighbor *from the perspective of a given AS*."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+    SIBLING = "sibling"
+
+    def inverse(self) -> "Relationship":
+        """Return the relationship as seen from the other end of the edge."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One annotated edge: ``provider`` is the upstream end for transit edges.
+
+    For peer-to-peer (and sibling) edges the two ends are interchangeable;
+    ``provider``/``customer`` then just record the insertion order.
+    """
+
+    provider: ASN
+    customer: ASN
+    relationship: Relationship
+
+    def other(self, asn: ASN) -> ASN:
+        """Return the AS at the other end of the edge."""
+        if asn == self.provider:
+            return self.customer
+        if asn == self.customer:
+            return self.provider
+        raise TopologyError(f"AS{asn} is not an endpoint of {self}")
+
+
+class AnnotatedASGraph:
+    """An AS-level graph whose edges carry business relationships."""
+
+    def __init__(self) -> None:
+        self._neighbors: dict[ASN, dict[ASN, Relationship]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_as(self, asn: ASN) -> None:
+        """Add an AS with no links (idempotent)."""
+        self._neighbors.setdefault(asn, {})
+
+    def add_provider_customer(self, provider: ASN, customer: ASN) -> None:
+        """Add (or overwrite) a provider-to-customer edge."""
+        if provider == customer:
+            raise TopologyError(f"AS{provider} cannot be its own provider")
+        self._set(provider, customer, Relationship.CUSTOMER)
+        self._set(customer, provider, Relationship.PROVIDER)
+
+    def add_peer_peer(self, left: ASN, right: ASN) -> None:
+        """Add (or overwrite) a peer-to-peer edge."""
+        if left == right:
+            raise TopologyError(f"AS{left} cannot peer with itself")
+        self._set(left, right, Relationship.PEER)
+        self._set(right, left, Relationship.PEER)
+
+    def add_sibling(self, left: ASN, right: ASN) -> None:
+        """Add (or overwrite) a sibling-to-sibling edge."""
+        if left == right:
+            raise TopologyError(f"AS{left} cannot be its own sibling")
+        self._set(left, right, Relationship.SIBLING)
+        self._set(right, left, Relationship.SIBLING)
+
+    def add_edge(self, provider: ASN, customer: ASN, relationship: Relationship) -> None:
+        """Add an edge given the relationship of ``customer`` relative to ``provider``.
+
+        ``relationship`` is interpreted as "what ``customer`` is to
+        ``provider``": ``CUSTOMER`` adds a provider-to-customer edge,
+        ``PEER`` a peer-to-peer edge, ``SIBLING`` a sibling edge and
+        ``PROVIDER`` a customer-to-provider edge (i.e. the reverse).
+        """
+        if relationship is Relationship.CUSTOMER:
+            self.add_provider_customer(provider, customer)
+        elif relationship is Relationship.PROVIDER:
+            self.add_provider_customer(customer, provider)
+        elif relationship is Relationship.PEER:
+            self.add_peer_peer(provider, customer)
+        else:
+            self.add_sibling(provider, customer)
+
+    def remove_edge(self, left: ASN, right: ASN) -> None:
+        """Remove the edge between two ASes (if present)."""
+        self._neighbors.get(left, {}).pop(right, None)
+        self._neighbors.get(right, {}).pop(left, None)
+
+    def _set(self, asn: ASN, neighbor: ASN, relationship: Relationship) -> None:
+        self._neighbors.setdefault(asn, {})[neighbor] = relationship
+        self._neighbors.setdefault(neighbor, {})
+
+    # -- basic queries ----------------------------------------------------------
+
+    def ases(self) -> list[ASN]:
+        """Every AS in the graph."""
+        return list(self._neighbors)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._neighbors
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neighbors) for neighbors in self._neighbors.values()) // 2
+
+    def degree(self, asn: ASN) -> int:
+        """Number of neighbors of an AS."""
+        return len(self._neighbors.get(asn, {}))
+
+    def neighbors(self, asn: ASN) -> list[ASN]:
+        """Every neighbor of an AS."""
+        return list(self._neighbors.get(asn, {}))
+
+    def relationship(self, asn: ASN, neighbor: ASN) -> Relationship | None:
+        """The relationship of ``neighbor`` from ``asn``'s point of view, if linked."""
+        return self._neighbors.get(asn, {}).get(neighbor)
+
+    def customers_of(self, asn: ASN) -> list[ASN]:
+        """Direct customers of an AS."""
+        return self._by_relationship(asn, Relationship.CUSTOMER)
+
+    def providers_of(self, asn: ASN) -> list[ASN]:
+        """Direct providers of an AS."""
+        return self._by_relationship(asn, Relationship.PROVIDER)
+
+    def peers_of(self, asn: ASN) -> list[ASN]:
+        """Peers of an AS."""
+        return self._by_relationship(asn, Relationship.PEER)
+
+    def siblings_of(self, asn: ASN) -> list[ASN]:
+        """Siblings of an AS."""
+        return self._by_relationship(asn, Relationship.SIBLING)
+
+    def _by_relationship(self, asn: ASN, relationship: Relationship) -> list[ASN]:
+        return [
+            neighbor
+            for neighbor, rel in self._neighbors.get(asn, {}).items()
+            if rel is relationship
+        ]
+
+    def is_provider_of(self, provider: ASN, customer: ASN) -> bool:
+        """``True`` if there is a direct provider-to-customer edge."""
+        return self.relationship(provider, customer) is Relationship.CUSTOMER
+
+    def is_peer_of(self, left: ASN, right: ASN) -> bool:
+        """``True`` if the two ASes share a peer-to-peer edge."""
+        return self.relationship(left, right) is Relationship.PEER
+
+    def is_multihomed(self, asn: ASN) -> bool:
+        """``True`` if the AS has more than one provider (paper Section 5.1.5)."""
+        return len(self.providers_of(asn)) > 1
+
+    def is_stub(self, asn: ASN) -> bool:
+        """``True`` if the AS has no customers."""
+        return not self.customers_of(asn)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over every edge once, with transit edges oriented provider→customer."""
+        seen: set[frozenset[ASN]] = set()
+        for asn, neighbors in self._neighbors.items():
+            for neighbor, relationship in neighbors.items():
+                key = frozenset((asn, neighbor))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if relationship is Relationship.CUSTOMER:
+                    yield Edge(asn, neighbor, Relationship.CUSTOMER)
+                elif relationship is Relationship.PROVIDER:
+                    yield Edge(neighbor, asn, Relationship.CUSTOMER)
+                else:
+                    yield Edge(asn, neighbor, relationship)
+
+    # -- customer cone and customer paths (paper Fig. 4, Phase 2) ------------------
+
+    def customer_cone(self, asn: ASN) -> set[ASN]:
+        """Every direct or indirect customer of an AS (the AS itself excluded)."""
+        if asn not in self._neighbors:
+            raise TopologyError(f"AS{asn} is not in the graph")
+        cone: set[ASN] = set()
+        stack = list(self.customers_of(asn))
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(
+                customer for customer in self.customers_of(current) if customer not in cone
+            )
+        return cone
+
+    def is_customer_of(self, asn: ASN, provider: ASN) -> bool:
+        """``True`` if ``asn`` is a direct or indirect customer of ``provider``.
+
+        Implements Phase 2 of the Fig. 4 algorithm: starting from the
+        provider, repeatedly expand the selected set with direct customers
+        until the target AS is found or the set stops growing.
+        """
+        if provider not in self._neighbors or asn not in self._neighbors:
+            return False
+        selected: set[ASN] = {provider}
+        frontier = deque(self.customers_of(provider))
+        while frontier:
+            current = frontier.popleft()
+            if current == asn:
+                return True
+            if current in selected:
+                continue
+            selected.add(current)
+            frontier.extend(
+                customer for customer in self.customers_of(current) if customer not in selected
+            )
+        return False
+
+    def find_customer_path(self, provider: ASN, customer: ASN) -> list[ASN] | None:
+        """Return one customer path from ``provider`` down to ``customer``.
+
+        The path follows only provider-to-customer edges (so every
+        consecutive pair obeys the export rules of Section 2.2.2) and is
+        found with a depth-first search.  Returns ``None`` when the target is
+        not in the provider's customer cone.
+        """
+        if provider not in self._neighbors or customer not in self._neighbors:
+            return None
+        stack: list[tuple[ASN, list[ASN]]] = [(provider, [provider])]
+        visited: set[ASN] = set()
+        while stack:
+            current, path = stack.pop()
+            if current == customer:
+                return path
+            if current in visited:
+                continue
+            visited.add(current)
+            for next_customer in self.customers_of(current):
+                if next_customer not in visited:
+                    stack.append((next_customer, path + [next_customer]))
+        return None
+
+    def all_customer_paths(
+        self, provider: ASN, customer: ASN, limit: int = 1000
+    ) -> list[list[ASN]]:
+        """Return every simple customer path from ``provider`` to ``customer``.
+
+        ``limit`` bounds the number of paths returned to keep worst-case
+        behaviour sane on dense graphs.
+        """
+        paths: list[list[ASN]] = []
+        stack: list[tuple[ASN, list[ASN]]] = [(provider, [provider])]
+        while stack and len(paths) < limit:
+            current, path = stack.pop()
+            if current == customer:
+                paths.append(path)
+                continue
+            for next_customer in self.customers_of(current):
+                if next_customer not in path:
+                    stack.append((next_customer, path + [next_customer]))
+        return paths
+
+    # -- path validation ---------------------------------------------------------
+
+    def classify_path_step(self, from_as: ASN, to_as: ASN) -> Relationship | None:
+        """The relationship of ``to_as`` from ``from_as``'s point of view."""
+        return self.relationship(from_as, to_as)
+
+    def is_valley_free(self, path: Sequence[ASN] | ASPath) -> bool:
+        """Check the Gao valley-free property of an AS path.
+
+        Walking from the first AS (nearest the receiver) toward the origin, a
+        valid path consists of zero or more customer→provider (uphill) steps,
+        at most one peer-peer step, then zero or more provider→customer
+        (downhill) steps.  Sibling steps are transparent.  Paths containing
+        ASes or edges missing from the graph are rejected.
+        """
+        asns = list(path.deduplicate()) if isinstance(path, ASPath) else list(path)
+        if len(asns) <= 1:
+            return True
+        # Walk from the origin toward the receiver so "uphill" comes first.
+        ordered = list(reversed(asns))
+        phase = "up"
+        for left, right in zip(ordered, ordered[1:]):
+            relationship = self.relationship(left, right)
+            if relationship is None:
+                return False
+            if relationship is Relationship.SIBLING:
+                continue
+            if relationship is Relationship.PROVIDER:
+                # left -> its provider: uphill step.
+                if phase != "up":
+                    return False
+            elif relationship is Relationship.PEER:
+                if phase != "up":
+                    return False
+                phase = "down"
+            else:  # CUSTOMER: downhill step.
+                phase = "down"
+        return True
+
+    def path_is_active_customer_path(self, path: Sequence[ASN]) -> bool:
+        """``True`` if every consecutive pair on the path is provider→customer."""
+        return all(
+            self.relationship(left, right) is Relationship.CUSTOMER
+            for left, right in zip(path, path[1:])
+        )
+
+    # -- conversion ---------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export the graph as a :class:`networkx.DiGraph` for ad-hoc analysis.
+
+        Transit edges become directed provider→customer edges with
+        ``relationship='p2c'``; peer and sibling edges become a pair of
+        directed edges labelled ``'p2p'`` / ``'s2s'``.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.ases())
+        for edge in self.edges():
+            if edge.relationship is Relationship.CUSTOMER:
+                graph.add_edge(edge.provider, edge.customer, relationship="p2c")
+            elif edge.relationship is Relationship.PEER:
+                graph.add_edge(edge.provider, edge.customer, relationship="p2p")
+                graph.add_edge(edge.customer, edge.provider, relationship="p2p")
+            else:
+                graph.add_edge(edge.provider, edge.customer, relationship="s2s")
+                graph.add_edge(edge.customer, edge.provider, relationship="s2s")
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        provider_customer: Iterable[tuple[ASN, ASN]] = (),
+        peer_peer: Iterable[tuple[ASN, ASN]] = (),
+        sibling: Iterable[tuple[ASN, ASN]] = (),
+    ) -> "AnnotatedASGraph":
+        """Build a graph from edge lists (convenient in tests and examples)."""
+        graph = cls()
+        for provider, customer in provider_customer:
+            graph.add_provider_customer(provider, customer)
+        for left, right in peer_peer:
+            graph.add_peer_peer(left, right)
+        for left, right in sibling:
+            graph.add_sibling(left, right)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"AnnotatedASGraph(ases={len(self)}, edges={self.edge_count()})"

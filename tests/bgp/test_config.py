@@ -1,0 +1,123 @@
+"""Unit tests for the Cisco-like configuration model."""
+
+import pytest
+
+from repro.bgp.config import BgpConfig, NeighborConfig, example_import_config
+from repro.bgp.policy import MatchCondition, PrefixList, RouteMap, SetActions
+from repro.bgp.route import Route
+from repro.exceptions import ConfigError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def route(prefix="10.1.1.0/24", path="65504 9"):
+    return Route(prefix=Prefix.parse(prefix), as_path=ASPath.parse(path))
+
+
+class TestExampleConfig:
+    def test_matches_paper_snippet(self):
+        config = example_import_config()
+        text = config.render()
+        assert "router bgp 65503" in text
+        assert "neighbor 192.1.250.23 remote-as 65504" in text
+        assert "neighbor 192.1.250.23 route-map isp1 in" in text
+        assert "access-list 1 permit 0.0.0.0 255.255.255.255" in text
+        assert "set local-preference 90" in text
+
+    def test_inbound_route_map_applies_local_pref(self):
+        config = example_import_config()
+        rmap = config.inbound_route_map("192.1.250.23")
+        assert rmap is not None
+        assert rmap.apply(route()).local_pref == 90
+
+    def test_neighbor_by_as(self):
+        config = example_import_config()
+        assert config.neighbor_by_as(65504).address == "192.1.250.23"
+        assert config.neighbor_by_as(1) is None
+
+
+class TestRenderParseRoundtrip:
+    def build_config(self):
+        config = BgpConfig(local_as=7018)
+        config.add_network("12.0.0.0/19")
+        config.add_neighbor(
+            NeighborConfig(
+                address="192.0.2.1",
+                remote_as=1239,
+                route_map_in="from-sprint",
+                route_map_out="to-sprint",
+                description="peer Sprint",
+            )
+        )
+        plist = PrefixList("cust-routes").permit("12.10.0.0/19", le=24)
+        rmap_in = RouteMap("from-sprint").permit(
+            sequence=10,
+            match=MatchCondition(prefix_list=plist),
+            set_actions=SetActions(local_pref=90),
+        )
+        rmap_in.permit(sequence=20, set_actions=SetActions(local_pref=80))
+        config.add_route_map(rmap_in)
+        config.add_route_map(RouteMap("to-sprint").permit())
+        return config
+
+    def test_roundtrip_preserves_semantics(self):
+        original = self.build_config()
+        parsed = BgpConfig.parse(original.render())
+        assert parsed.local_as == 7018
+        assert parsed.networks == [Prefix.parse("12.0.0.0/19")]
+        neighbor = parsed.neighbors["192.0.2.1"]
+        assert neighbor.remote_as == 1239
+        assert neighbor.route_map_in == "from-sprint"
+        assert neighbor.route_map_out == "to-sprint"
+        assert neighbor.description == "peer Sprint"
+        rmap = parsed.route_maps["from-sprint"]
+        matched = rmap.apply(route(prefix="12.10.1.0/24", path="1239 9"))
+        assert matched.local_pref == 90
+        fallthrough = rmap.apply(route(prefix="100.0.0.0/16", path="1239 9"))
+        assert fallthrough.local_pref == 80
+
+    def test_roundtrip_of_paper_example(self):
+        parsed = BgpConfig.parse(example_import_config().render())
+        rmap = parsed.inbound_route_map("192.1.250.23")
+        assert rmap.apply(route()).local_pref == 90
+
+    def test_parse_prepend_and_community(self):
+        text = "\n".join(
+            [
+                "router bgp 65500",
+                "route-map out-pad permit 10",
+                " set as-path prepend 65500 65500",
+                " set community 65500:70 additive",
+                " set metric 30",
+            ]
+        )
+        config = BgpConfig.parse(text)
+        clause = config.route_maps["out-pad"].clauses[0]
+        assert clause.set_actions.prepend == (65500, 2)
+        assert clause.set_actions.med == 30
+        assert str(clause.set_actions.add_communities[0]) == "65500:70"
+
+
+class TestParserErrors:
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ConfigError):
+            BgpConfig.parse("router bgp 1\nfoobar baz\n")
+
+    def test_match_outside_clause_rejected(self):
+        with pytest.raises(ConfigError):
+            BgpConfig.parse("router bgp 1\n match ip address 1\n")
+
+    def test_missing_router_stanza_rejected(self):
+        with pytest.raises(ConfigError):
+            BgpConfig.parse("!\n")
+
+    def test_neighbor_before_router_rejected(self):
+        with pytest.raises(ConfigError):
+            BgpConfig.parse("neighbor 10.0.0.1 remote-as 5\n")
+
+    def test_bad_route_map_direction_rejected(self):
+        with pytest.raises(ConfigError):
+            BgpConfig.parse(
+                "router bgp 1\n neighbor 10.0.0.1 remote-as 5\n"
+                " neighbor 10.0.0.1 route-map x sideways\n"
+            )

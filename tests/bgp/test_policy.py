@@ -1,0 +1,177 @@
+"""Unit tests for the route-map / prefix-list policy engine."""
+
+from repro.bgp.attributes import Community, CommunitySet, WellKnownCommunity
+from repro.bgp.policy import (
+    AccessList,
+    CommunityList,
+    MatchCondition,
+    PolicyAction,
+    PrefixList,
+    RouteMap,
+    SetActions,
+    community_tagging_route_map,
+    deny_to_neighbor_route_map,
+    match_all_route_map,
+    per_prefix_route_map,
+)
+from repro.bgp.route import Route
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def route(prefix="10.1.1.0/24", path="65504 3 9", **kwargs):
+    return Route(prefix=Prefix.parse(prefix), as_path=ASPath.parse(path), **kwargs)
+
+
+class TestPrefixList:
+    def test_exact_match_only_by_default(self):
+        plist = PrefixList("p").permit("10.1.1.0/24")
+        assert plist.permits(Prefix.parse("10.1.1.0/24"))
+        assert not plist.permits(Prefix.parse("10.1.1.0/25"))
+        assert not plist.permits(Prefix.parse("10.1.0.0/16"))
+
+    def test_le_extends_to_more_specifics(self):
+        plist = PrefixList("p").permit("10.0.0.0/8", le=24)
+        assert plist.permits(Prefix.parse("10.1.0.0/16"))
+        assert plist.permits(Prefix.parse("10.1.1.0/24"))
+        assert not plist.permits(Prefix.parse("10.1.1.0/25"))
+
+    def test_ge_requires_minimum_length(self):
+        plist = PrefixList("p").permit("10.0.0.0/8", ge=16, le=24)
+        assert not plist.permits(Prefix.parse("10.0.0.0/8"))
+        assert plist.permits(Prefix.parse("10.2.0.0/16"))
+
+    def test_first_match_wins_and_implicit_deny(self):
+        plist = (
+            PrefixList("p")
+            .deny("10.1.1.0/24")
+            .permit("10.0.0.0/8", le=32)
+        )
+        assert plist.evaluate(Prefix.parse("10.1.1.0/24")) is PolicyAction.DENY
+        assert plist.permits(Prefix.parse("10.9.0.0/16"))
+        assert plist.evaluate(Prefix.parse("11.0.0.0/8")) is PolicyAction.DENY
+
+
+class TestAccessList:
+    def test_match_everything_wildcard(self):
+        acl = AccessList("1").permit("0.0.0.0", "255.255.255.255")
+        assert acl.permits(Prefix.parse("10.1.1.0/24"))
+        assert acl.permits(Prefix.parse("200.7.0.0/16"))
+
+    def test_specific_network_wildcard(self):
+        acl = AccessList("2").permit("10.1.0.0", "0.0.255.255")
+        assert acl.permits(Prefix.parse("10.1.5.0/24"))
+        assert not acl.permits(Prefix.parse("10.2.5.0/24"))
+
+    def test_implicit_deny(self):
+        acl = AccessList("3")
+        assert not acl.permits(Prefix.parse("10.0.0.0/8"))
+
+    def test_deny_entry(self):
+        acl = AccessList("4").deny("10.1.0.0", "0.0.255.255").permit("0.0.0.0", "255.255.255.255")
+        assert not acl.permits(Prefix.parse("10.1.0.0/16"))
+        assert acl.permits(Prefix.parse("10.2.0.0/16"))
+
+
+class TestCommunityList:
+    def test_matches_any_listed_community(self):
+        clist = CommunityList("c").add("12859:1000").add(Community(12859, 2000))
+        assert clist.matches(CommunitySet(["12859:2000"]))
+        assert not clist.matches(CommunitySet(["12859:4000"]))
+        assert not clist.matches(CommunitySet())
+
+
+class TestRouteMap:
+    def test_unmatched_route_is_denied(self):
+        rmap = RouteMap("m").permit(match=MatchCondition(next_hop_as=7018))
+        assert rmap.apply(route(path="1239 9")) is None
+
+    def test_deny_clause(self):
+        rmap = RouteMap("m").deny(match=MatchCondition(next_hop_as=1239))
+        assert rmap.apply(route(path="1239 9")) is None
+
+    def test_set_local_pref(self):
+        rmap = match_all_route_map("isp1", local_pref=90)
+        result = rmap.apply(route())
+        assert result is not None
+        assert result.local_pref == 90
+
+    def test_clause_ordering_by_sequence(self):
+        rmap = RouteMap("m")
+        rmap.permit(sequence=20, set_actions=SetActions(local_pref=50))
+        rmap.permit(
+            sequence=10,
+            match=MatchCondition(prefix_list=PrefixList("x").permit("10.1.1.0/24")),
+            set_actions=SetActions(local_pref=200),
+        )
+        matched = rmap.apply(route(prefix="10.1.1.0/24"))
+        assert matched.local_pref == 200
+        fallthrough = rmap.apply(route(prefix="10.2.0.0/16"))
+        assert fallthrough.local_pref == 50
+
+    def test_match_next_hop_as(self):
+        rmap = RouteMap("m").permit(
+            match=MatchCondition(next_hop_as=65504),
+            set_actions=SetActions(local_pref=90),
+        )
+        assert rmap.apply(route(path="65504 9")).local_pref == 90
+        assert rmap.apply(route(path="65505 9")) is None
+
+    def test_match_as_path_contains_and_origin(self):
+        rmap = RouteMap("m").permit(
+            match=MatchCondition(as_path_contains=3, origin_as=9),
+        )
+        assert rmap.apply(route(path="65504 3 9")) is not None
+        assert rmap.apply(route(path="65504 4 9")) is None
+        assert rmap.apply(route(path="65504 3 8")) is None
+
+    def test_set_med_prepend_and_communities(self):
+        rmap = RouteMap("m").permit(
+            set_actions=SetActions(
+                med=50,
+                prepend=(65503, 2),
+                add_communities=(Community.parse("65503:100"), WellKnownCommunity.NO_EXPORT),
+            )
+        )
+        result = rmap.apply(route(path="65504 9"))
+        assert result.med == 50
+        assert result.as_path.asns[:2] == (65503, 65503)
+        assert result.communities.has("65503:100")
+        assert result.communities.no_export
+
+    def test_delete_communities(self):
+        rmap = RouteMap("m").permit(
+            set_actions=SetActions(delete_communities=(Community.parse("1:1"),))
+        )
+        tagged = route(communities=CommunitySet(["1:1", "2:2"]))
+        result = rmap.apply(tagged)
+        assert not result.communities.has("1:1")
+        assert result.communities.has("2:2")
+
+    def test_apply_all_filters_denied(self):
+        rmap = RouteMap("m").permit(match=MatchCondition(next_hop_as=1))
+        routes = [route(path="1 9"), route(path="2 9")]
+        assert len(rmap.apply_all(routes)) == 1
+
+
+class TestBuilders:
+    def test_per_prefix_route_map(self):
+        rmap = per_prefix_route_map(
+            "isp1", [("10.1.1.0/24", 80)], default_pref=100
+        )
+        assert rmap.apply(route(prefix="10.1.1.0/24")).local_pref == 80
+        assert rmap.apply(route(prefix="10.2.0.0/16")).local_pref == 100
+
+    def test_per_prefix_route_map_without_default_denies_rest(self):
+        rmap = per_prefix_route_map("isp1", [("10.1.1.0/24", 80)])
+        assert rmap.apply(route(prefix="10.2.0.0/16")) is None
+
+    def test_deny_to_neighbor_route_map(self):
+        rmap = deny_to_neighbor_route_map("export-to-B", ["10.5.0.0/16"])
+        assert rmap.apply(route(prefix="10.5.0.0/16")) is None
+        assert rmap.apply(route(prefix="10.6.0.0/16")) is not None
+
+    def test_community_tagging_route_map(self):
+        rmap = community_tagging_route_map("tag-peer", "12859:1000")
+        result = rmap.apply(route())
+        assert result.communities.has("12859:1000")

@@ -1,0 +1,186 @@
+"""Tests for cause attribution (Tables 8, 9, Case 3) and verification (Tables 4, 7)."""
+
+from repro.core.causes import CauseAnalyzer
+from repro.core.community import CommunityAnalyzer
+from repro.core.export_policy import ExportPolicyAnalyzer
+from repro.core.verification import Verifier
+from repro.simulation.scenario import figure5_scenario
+
+
+class TestHomingBreakdown:
+    def test_dataset_mostly_multihomed(self, graph, sa_reports):
+        analyzer = CauseAnalyzer(graph)
+        total_multi = 0
+        total_single = 0
+        for report in sa_reports.values():
+            breakdown = analyzer.homing_breakdown(report)
+            total_multi += breakdown.multihomed_count
+            total_single += breakdown.singlehomed_count
+            assert breakdown.multihomed_count + breakdown.singlehomed_count == len(
+                report.origins_with_sa_prefixes()
+            )
+        assert total_multi > total_single
+
+    def test_multihomed_origin_in_figure5(self):
+        scenario = figure5_scenario()
+        result = scenario.run()
+        analyzer = ExportPolicyAnalyzer(scenario.internet.graph)
+        report = analyzer.find_sa_prefixes(1, result.table_of(1))
+        breakdown = CauseAnalyzer(scenario.internet.graph).homing_breakdown(report)
+        assert breakdown.multihomed_origins == {6280}
+        assert breakdown.percent_multihomed == 100.0
+
+
+class TestCauseBreakdown:
+    def test_counts_partition_consistently(self, graph, sa_reports, provider_tables):
+        analyzer = CauseAnalyzer(graph)
+        for provider, report in sa_reports.items():
+            breakdown = analyzer.cause_breakdown(report, provider_tables[provider])
+            assert breakdown.sa_prefix_count == report.sa_prefix_count
+            assert breakdown.selective_count <= breakdown.sa_prefix_count
+            assert breakdown.splitting_count <= breakdown.sa_prefix_count
+            assert breakdown.aggregating_count <= breakdown.sa_prefix_count
+            # Every SA prefix not explained by splitting or aggregating is selective.
+            assert breakdown.selective_count >= (
+                breakdown.sa_prefix_count
+                - breakdown.splitting_count
+                - breakdown.aggregating_count
+            )
+
+    def test_selective_announcing_is_dominant_cause(self, graph, sa_reports, provider_tables):
+        """The paper's headline finding for Table 9."""
+        analyzer = CauseAnalyzer(graph)
+        total_selective = 0
+        total_other = 0
+        for provider, report in sa_reports.items():
+            breakdown = analyzer.cause_breakdown(report, provider_tables[provider])
+            total_selective += breakdown.selective_count
+            total_other += breakdown.splitting_count + breakdown.aggregating_count
+        assert total_selective > total_other
+
+
+class TestCase3:
+    def test_percentages_are_consistent(self, dataset, graph, sa_reports):
+        analyzer = CauseAnalyzer(graph)
+        for report in sa_reports.values():
+            case3 = analyzer.case3_analysis(report, dataset.collector)
+            assert case3.identified_count <= case3.sa_prefix_count
+            assert (
+                case3.exported_to_direct_provider + case3.not_exported_to_direct_provider
+                == case3.identified_count
+            )
+            if case3.identified_count:
+                assert abs(
+                    case3.percent_exported + case3.percent_not_exported - 100.0
+                ) < 1e-9
+
+    def test_majority_not_exported_to_direct_provider(self, dataset, graph, sa_reports):
+        analyzer = CauseAnalyzer(graph)
+        exported = 0
+        not_exported = 0
+        for report in sa_reports.values():
+            case3 = analyzer.case3_analysis(report, dataset.collector)
+            exported += case3.exported_to_direct_provider
+            not_exported += case3.not_exported_to_direct_provider
+        assert not_exported > exported
+
+
+class TestRelationshipVerification:
+    def test_table4_high_verification_rate(self, dataset, graph, glasses):
+        tagging = [
+            glass
+            for glass in glasses
+            if dataset.assignment.policies[glass.asn].community_plan is not None
+        ]
+        assert tagging, "expected tagging Looking Glass ASes"
+        verifier = Verifier(graph, CommunityAnalyzer())
+        results = verifier.verify_relationships(tagging)
+        assert results
+        verified = sum(r.verified_neighbors for r in results)
+        verifiable = sum(r.verifiable_neighbors for r in results)
+        assert verifiable > 0
+        assert verified / verifiable > 0.85
+
+    def test_published_plan_improves_or_matches(self, dataset, graph, glasses):
+        tagging = [
+            glass
+            for glass in glasses
+            if dataset.assignment.policies[glass.asn].community_plan is not None
+        ]
+        plans = {
+            glass.asn: dataset.assignment.policies[glass.asn].community_plan
+            for glass in tagging
+        }
+        verifier = Verifier(graph, CommunityAnalyzer())
+        with_plan = verifier.verify_relationships(tagging, published_plans=plans)
+        without_plan = verifier.verify_relationships(tagging)
+        rate_with = sum(r.verified_neighbors for r in with_plan) / max(
+            1, sum(r.verifiable_neighbors for r in with_plan)
+        )
+        rate_without = sum(r.verified_neighbors for r in without_plan) / max(
+            1, sum(r.verifiable_neighbors for r in without_plan)
+        )
+        assert rate_with >= rate_without - 1e-9
+        assert rate_with > 0.95
+
+
+class TestSAVerification:
+    def test_table7_most_sa_prefixes_verified(self, dataset, graph, sa_reports):
+        verifier = Verifier(graph)
+        results = verifier.verify_many(sa_reports, dataset.collector)
+        total = sum(r.sa_prefix_count for r in results.values())
+        verified = sum(r.verified_count for r in results.values())
+        assert total > 0
+        assert verified / total > 0.8
+
+    def test_verification_counts_consistent(self, dataset, graph, sa_reports):
+        verifier = Verifier(graph)
+        for provider, report in sa_reports.items():
+            result = verifier.verify_sa_prefixes(report, dataset.collector)
+            assert result.provider == provider
+            assert (
+                result.verified_count + result.step1_failures + result.step2_failures
+                == result.sa_prefix_count
+            )
+
+    def test_restricting_verified_neighbors_lowers_step1(self, dataset, graph, sa_reports):
+        verifier = Verifier(graph)
+        provider, report = next(iter(sa_reports.items()))
+        unrestricted = verifier.verify_sa_prefixes(report, dataset.collector)
+        restricted = verifier.verify_sa_prefixes(
+            report, dataset.collector, verified_neighbor_ases=set()
+        )
+        if report.sa_prefix_count:
+            assert restricted.step1_failures >= unrestricted.step1_failures
+            assert restricted.verified_count <= unrestricted.verified_count
+
+    def test_figure5_sa_prefix_verifies_when_customer_path_is_active(self):
+        from repro.net.prefix import Prefix
+        from repro.simulation.collector import RouteViewsCollector
+
+        scenario = figure5_scenario()
+        # A second prefix announced to *both* providers makes the customer
+        # path AS1-AS852-AS6280 active, which is what step 2 requires.
+        scenario.internet.originated[6280].append(Prefix.parse("10.62.81.0/24"))
+        result = scenario.run()
+        graph = scenario.internet.graph
+        report = ExportPolicyAnalyzer(graph).find_sa_prefixes(1, result.table_of(1))
+        collector = RouteViewsCollector(vantage_ases=[1, 3549]).collect(result)
+        verification = Verifier(graph).verify_sa_prefixes(report, collector)
+        assert verification.sa_prefix_count == 1
+        assert verification.verified_count == 1
+
+    def test_figure5_sa_prefix_unverified_without_active_path(self):
+        """With no other prefix traversing the customer path, step 2 cannot
+        confirm the indirect customer relationship — the paper's method
+        correctly reports the SA prefix as unverified."""
+        from repro.simulation.collector import RouteViewsCollector
+
+        scenario = figure5_scenario()
+        result = scenario.run()
+        graph = scenario.internet.graph
+        report = ExportPolicyAnalyzer(graph).find_sa_prefixes(1, result.table_of(1))
+        collector = RouteViewsCollector(vantage_ases=[1, 3549]).collect(result)
+        verification = Verifier(graph).verify_sa_prefixes(report, collector)
+        assert verification.sa_prefix_count == 1
+        assert verification.step2_failures == 1

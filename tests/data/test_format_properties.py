@@ -1,0 +1,125 @@
+"""Property-based round-trip tests for the on-disk formats (hypothesis)."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.attributes import Community, CommunitySet, Origin
+from repro.bgp.rib import LocRib
+from repro.bgp.route import Route
+from repro.data.mrt import MrtReader, MrtWriter
+from repro.data.rpsl import AutNumObject, PolicyLine
+from repro.data.show_ip_bgp import (
+    format_show_ip_bgp_detail,
+    format_show_ip_bgp_table,
+    parse_show_ip_bgp_detail,
+    parse_show_ip_bgp_table,
+)
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def communities():
+    return st.builds(
+        Community,
+        asn=st.integers(min_value=1, max_value=65535),
+        value=st.integers(min_value=0, max_value=65535),
+    )
+
+
+def routes():
+    return st.builds(
+        Route,
+        prefix=st.builds(
+            Prefix,
+            network=st.integers(min_value=0, max_value=0xFFFFFFFF),
+            length=st.integers(min_value=8, max_value=28),
+        ),
+        as_path=st.lists(
+            st.integers(min_value=1, max_value=65000), min_size=1, max_size=6
+        ).map(ASPath),
+        local_pref=st.integers(min_value=0, max_value=400),
+        med=st.integers(min_value=0, max_value=1000),
+        origin=st.sampled_from(list(Origin)),
+        communities=st.lists(communities(), max_size=4).map(CommunitySet),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(routes(), min_size=1, max_size=15))
+def test_mrt_roundtrip_preserves_routes(route_list):
+    table = LocRib(owner=65000)
+    table.add_routes(route_list)
+    buffer = io.BytesIO()
+    MrtWriter(buffer).write_table(table)
+    buffer.seek(0)
+    restored = MrtReader(buffer).read_tables()[65000]
+    assert len(restored) == len(table)
+    for entry in table.entries():
+        restored_routes = {
+            (r.next_hop_as, r.as_path, r.local_pref, r.med, r.origin, r.communities)
+            for r in restored.all_routes(entry.prefix)
+        }
+        original_routes = {
+            (r.next_hop_as, r.as_path, r.local_pref, r.med, r.origin, r.communities)
+            for r in entry.routes
+        }
+        assert restored_routes == original_routes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(routes(), min_size=1, max_size=10))
+def test_show_ip_bgp_table_roundtrip_preserves_key_attributes(route_list):
+    table = LocRib(owner=65000)
+    table.add_routes(route_list)
+    text = format_show_ip_bgp_table(table)
+    restored = parse_show_ip_bgp_table(text, view_as=65000)
+    assert len(restored) == len(table)
+    for entry in table.entries():
+        original = {(r.next_hop_as, r.as_path, r.local_pref, r.med) for r in entry.routes}
+        parsed = {
+            (r.next_hop_as, r.as_path, r.local_pref, r.med)
+            for r in restored.all_routes(entry.prefix)
+        }
+        assert parsed == original
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(routes(), min_size=1, max_size=6))
+def test_show_ip_bgp_detail_roundtrip(route_list):
+    prefix = Prefix.parse("10.20.0.0/16")
+    table = LocRib(owner=65000)
+    table.add_routes([route.replace(prefix=prefix) for route in route_list])
+    entry = table.entry(prefix)
+    text = format_show_ip_bgp_detail(entry, view_as=65000)
+    parsed = parse_show_ip_bgp_detail(text, view_as=65000)
+    assert parsed.prefix == prefix
+    assert len(parsed.routes) == len(entry.routes)
+    original = {(r.as_path, r.local_pref, r.med, r.communities) for r in entry.routes}
+    restored = {(r.as_path, r.local_pref, r.med, r.communities) for r in parsed.routes}
+    assert restored == original
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    asn=st.integers(min_value=1, max_value=65000),
+    lines=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=65000),
+            st.integers(min_value=0, max_value=999),
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda item: item[0],
+    ),
+)
+def test_rpsl_autnum_roundtrip(asn, lines):
+    obj = AutNumObject(asn=asn, as_name=f"AS{asn}-NET")
+    for peer, pref in lines:
+        obj.imports.append(PolicyLine("import", peer_as=peer, pref=pref))
+        obj.exports.append(PolicyLine("export", peer_as=peer, filter_text=f"AS{asn}"))
+    parsed = AutNumObject.parse(obj.render())
+    assert parsed.asn == asn
+    assert parsed.neighbors() == {peer for peer, _ in lines}
+    for peer, pref in lines:
+        assert parsed.import_pref_for(peer) == pref

@@ -1,0 +1,124 @@
+"""Tests for the Cisco-style show ip bgp text formats."""
+
+import pytest
+
+from repro.bgp.attributes import CommunitySet, Origin
+from repro.bgp.rib import LocRib
+from repro.bgp.route import NeighborKind, Route, originate
+from repro.data.show_ip_bgp import (
+    format_show_ip_bgp_detail,
+    format_show_ip_bgp_table,
+    parse_show_ip_bgp_detail,
+    parse_show_ip_bgp_table,
+)
+from repro.exceptions import DataFormatError
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+
+def sample_table(owner=12859):
+    table = LocRib(owner=owner)
+    table.add_route(
+        Route(
+            prefix=Prefix.parse("80.96.180.0/24"),
+            as_path=ASPath.parse("8220 12878 5606 15471"),
+            local_pref=210,
+            med=5,
+            communities=CommunitySet(["12859:1000"]),
+            neighbor_kind=NeighborKind.PEER,
+        )
+    )
+    table.add_route(
+        Route(
+            prefix=Prefix.parse("80.96.180.0/24"),
+            as_path=ASPath.parse("3356 5606 15471"),
+            local_pref=80,
+        )
+    )
+    table.add_route(originate(Prefix.parse("10.128.0.0/16"), origin_as=owner))
+    return table
+
+
+class TestTableFormat:
+    def test_roundtrip(self):
+        table = sample_table()
+        text = format_show_ip_bgp_table(table)
+        parsed = parse_show_ip_bgp_table(text, view_as=12859)
+        assert len(parsed) == len(table)
+        prefix = Prefix.parse("80.96.180.0/24")
+        assert len(parsed.all_routes(prefix)) == 2
+        assert parsed.best_route(prefix).local_pref == 210
+        assert str(parsed.best_route(prefix).as_path) == "8220 12878 5606 15471"
+
+    def test_best_marker_present(self):
+        text = format_show_ip_bgp_table(sample_table())
+        assert "*>" in text
+        assert text.count("*>") == 2  # one best per prefix
+
+    def test_local_route_roundtrip(self):
+        text = format_show_ip_bgp_table(sample_table())
+        parsed = parse_show_ip_bgp_table(text, view_as=12859)
+        local = parsed.best_route(Prefix.parse("10.128.0.0/16"))
+        assert local is not None
+        assert local.as_path.origin_as == 12859
+
+    def test_unparsable_line_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_show_ip_bgp_table("*> not a prefix at all\n", view_as=1)
+
+    def test_non_route_lines_ignored(self):
+        text = "BGP table version is 1\nsome banner\n"
+        parsed = parse_show_ip_bgp_table(text, view_as=1)
+        assert len(parsed) == 0
+
+
+class TestDetailFormat:
+    def test_matches_paper_example_shape(self):
+        table = sample_table()
+        entry = table.entry(Prefix.parse("80.96.180.0/24"))
+        text = format_show_ip_bgp_detail(entry, view_as=12859)
+        assert "BGP routing table entry for 80.96.180.0/24" in text
+        assert "Paths: (2 available" in text
+        assert "8220 12878 5606 15471" in text
+        assert "localpref 210" in text
+        assert "Community: 12859:1000" in text
+        assert "best" in text
+
+    def test_roundtrip(self):
+        table = sample_table()
+        entry = table.entry(Prefix.parse("80.96.180.0/24"))
+        text = format_show_ip_bgp_detail(entry, view_as=12859)
+        parsed = parse_show_ip_bgp_detail(text, view_as=12859)
+        assert parsed.prefix == entry.prefix
+        assert len(parsed.routes) == 2
+        assert parsed.best is not None
+        assert parsed.best.local_pref == 210
+        assert parsed.best.communities.has("12859:1000")
+        assert parsed.best.med == 5
+        by_path = {str(r.as_path): r for r in parsed.routes}
+        assert by_path["3356 5606 15471"].local_pref == 80
+
+    def test_local_route_detail(self):
+        table = sample_table()
+        entry = table.entry(Prefix.parse("10.128.0.0/16"))
+        text = format_show_ip_bgp_detail(entry, view_as=12859)
+        parsed = parse_show_ip_bgp_detail(text, view_as=12859)
+        assert parsed.routes[0].as_path.origin_as == 12859
+
+    def test_learned_from_recovered(self):
+        table = sample_table()
+        entry = table.entry(Prefix.parse("80.96.180.0/24"))
+        parsed = parse_show_ip_bgp_detail(
+            format_show_ip_bgp_detail(entry, view_as=12859), view_as=12859
+        )
+        assert {r.next_hop_as for r in parsed.routes} == {8220, 3356}
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_show_ip_bgp_detail("no header here", view_as=1)
+
+    def test_empty_entry_rejected(self):
+        from repro.bgp.rib import RibEntry
+
+        with pytest.raises(DataFormatError):
+            format_show_ip_bgp_detail(RibEntry(prefix=Prefix.parse("10.0.0.0/8")), view_as=1)

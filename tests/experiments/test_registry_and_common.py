@@ -1,0 +1,71 @@
+"""Tests for the experiment registry, base classes and shared caches."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import provider_tables, sa_reports
+from repro.experiments.registry import all_experiments, register
+from repro.data.dataset import small_dataset
+
+
+class TestExperimentResult:
+    def test_render_includes_notes_and_reference(self):
+        result = ExperimentResult(
+            experiment_id="tableX",
+            title="A title",
+            paper_reference="Table X, Section Y",
+            headers=["a", "b"],
+            rows=[[1, 2]],
+            notes=["something to remember"],
+        )
+        rendered = result.render()
+        assert "tableX: A title" in rendered
+        assert "Table X, Section Y" in rendered
+        assert "note: something to remember" in rendered
+
+
+class TestRegistry:
+    def test_register_requires_identifier(self):
+        class Nameless(Experiment):
+            experiment_id = ""
+            title = "nameless"
+            paper_reference = "-"
+
+            def run(self, dataset):  # pragma: no cover - never invoked
+                return self._result()
+
+        with pytest.raises(ExperimentError):
+            register(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        class Duplicate(Experiment):
+            experiment_id = "table5"
+            title = "duplicate"
+            paper_reference = "-"
+
+            def run(self, dataset):  # pragma: no cover - never invoked
+                return self._result()
+
+        with pytest.raises(ExperimentError):
+            register(Duplicate)
+
+    def test_all_experiments_sorted_by_id(self):
+        identifiers = [experiment.experiment_id for experiment in all_experiments()]
+        assert identifiers == sorted(identifiers)
+
+
+class TestCommonCaches:
+    def test_provider_tables_cached_per_dataset(self):
+        dataset = small_dataset()
+        first = provider_tables(dataset)
+        second = provider_tables(dataset)
+        assert first is second
+        assert len(first) == 3
+
+    def test_sa_reports_cached_and_consistent(self):
+        dataset = small_dataset()
+        first = sa_reports(dataset)
+        second = sa_reports(dataset)
+        assert first is second
+        assert set(first) == set(provider_tables(dataset))

@@ -1,0 +1,211 @@
+"""Unit tests for repro.net.prefix."""
+
+import pytest
+
+from repro.exceptions import PrefixError
+from repro.net.prefix import (
+    Prefix,
+    aggregate_prefixes,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestParseFormat:
+    def test_parse_ipv4_roundtrip(self):
+        assert parse_ipv4("12.10.1.0") == (12 << 24) | (10 << 16) | (1 << 8)
+
+    def test_format_ipv4_roundtrip(self):
+        assert format_ipv4(parse_ipv4("192.1.250.23")) == "192.1.250.23"
+
+    def test_parse_ipv4_rejects_short(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("10.0.0")
+
+    def test_parse_ipv4_rejects_large_octet(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("10.0.0.256")
+
+    def test_parse_ipv4_rejects_garbage(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("not.an.ip.addr")
+
+    def test_format_ipv4_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_ipv4(1 << 33)
+
+
+class TestPrefixConstruction:
+    def test_parse_with_length(self):
+        prefix = Prefix.parse("12.0.0.0/19")
+        assert str(prefix) == "12.0.0.0/19"
+        assert prefix.length == 19
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("80.96.180.1").length == 32
+
+    def test_host_bits_are_cleared(self):
+        assert str(Prefix.parse("10.1.1.7/24")) == "10.1.1.0/24"
+
+    def test_from_octets(self):
+        assert Prefix.from_octets(12, 10, 1, 0, 24) == Prefix.parse("12.10.1.0/24")
+
+    def test_from_octets_rejects_bad_octet(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_octets(300, 0, 0, 0, 8)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_rejects_non_numeric_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/abc")
+
+    def test_immutability(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        with pytest.raises(AttributeError):
+            prefix.length = 9
+
+
+class TestPrefixProperties:
+    def test_size(self):
+        assert Prefix.parse("10.0.0.0/24").size == 256
+
+    def test_broadcast(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert format_ipv4(prefix.broadcast) == "10.0.0.255"
+
+    def test_default_route(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.size == 2**32
+        assert default.contains(Prefix.parse("200.1.2.0/24"))
+
+    def test_bits(self):
+        assert Prefix.parse("128.0.0.0/2").bits() == "10"
+        assert Prefix.parse("0.0.0.0/0").bits() == ""
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("12.0.0.0/19").contains(Prefix.parse("12.0.1.0/24"))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Prefix.parse("12.0.0.0/19").contains(Prefix.parse("13.0.0.0/24"))
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("12.0.0.0/19").contains(Prefix.parse("12.0.0.0/8"))
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert prefix.contains(prefix)
+
+    def test_contains_address(self):
+        assert Prefix.parse("10.1.0.0/16").contains_address("10.1.200.3")
+        assert not Prefix.parse("10.1.0.0/16").contains_address("10.2.0.1")
+
+    def test_is_proper_subnet_of(self):
+        assert Prefix.parse("10.1.1.0/24").is_proper_subnet_of(Prefix.parse("10.1.0.0/16"))
+        assert not Prefix.parse("10.1.0.0/16").is_proper_subnet_of(Prefix.parse("10.1.0.0/16"))
+
+
+class TestAlgebra:
+    def test_supernet_immediate(self):
+        assert Prefix.parse("10.1.1.0/24").supernet() == Prefix.parse("10.1.0.0/23")
+
+    def test_supernet_to_length(self):
+        assert Prefix.parse("12.10.1.0/24").supernet(19) == Prefix.parse("12.10.0.0/19")
+
+    def test_supernet_rejects_longer(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_default(self):
+        children = list(Prefix.parse("10.0.0.0/8").subnets())
+        assert children == [Prefix.parse("10.0.0.0/9"), Prefix.parse("10.128.0.0/9")]
+
+    def test_subnets_cover_parent_exactly(self):
+        parent = Prefix.parse("10.0.0.0/22")
+        children = list(parent.subnets(24))
+        assert len(children) == 4
+        assert sum(child.size for child in children) == parent.size
+        assert all(parent.contains(child) for child in children)
+
+    def test_split_power_of_two(self):
+        halves = Prefix.parse("12.0.0.0/19").split(2)
+        assert [p.length for p in halves] == [20, 20]
+
+    def test_split_rejects_non_power_of_two(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("12.0.0.0/19").split(3)
+
+    def test_can_aggregate_with_sibling(self):
+        left = Prefix.parse("10.0.0.0/25")
+        right = Prefix.parse("10.0.0.128/25")
+        assert left.can_aggregate_with(right)
+        assert left.aggregate_with(right) == Prefix.parse("10.0.0.0/24")
+
+    def test_cannot_aggregate_non_siblings(self):
+        assert not Prefix.parse("10.0.0.0/25").can_aggregate_with(Prefix.parse("10.0.1.0/25"))
+
+    def test_aggregate_with_rejects_non_siblings(self):
+        with pytest.raises(PrefixError):
+            Prefix.parse("10.0.0.0/25").aggregate_with(Prefix.parse("10.0.1.0/25"))
+
+    def test_common_supernet(self):
+        a = Prefix.parse("10.0.0.0/24")
+        b = Prefix.parse("10.0.3.0/24")
+        common = a.common_supernet(b)
+        assert common.contains(a) and common.contains(b)
+        assert common == Prefix.parse("10.0.0.0/22")
+
+    def test_common_supernet_disjoint_is_short(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("200.0.0.0/8")
+        assert a.common_supernet(b).length == 0
+
+
+class TestOrderingAndHashing:
+    def test_equality_and_hash(self):
+        assert Prefix.parse("10.0.0.0/8") == Prefix.parse("10.0.0.1/8")
+        assert hash(Prefix.parse("10.0.0.0/8")) == hash(Prefix.parse("10.0.0.1/8"))
+
+    def test_sort_order_by_address_then_length(self):
+        prefixes = [
+            Prefix.parse("10.0.0.0/16"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("9.0.0.0/8"),
+        ]
+        assert sorted(prefixes) == [
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.0.0.0/16"),
+        ]
+
+    def test_repr_is_informative(self):
+        assert "12.0.0.0/19" in repr(Prefix.parse("12.0.0.0/19"))
+
+
+class TestAggregatePrefixes:
+    def test_merges_siblings(self):
+        result = aggregate_prefixes(
+            [Prefix.parse("10.0.0.0/25"), Prefix.parse("10.0.0.128/25")]
+        )
+        assert result == [Prefix.parse("10.0.0.0/24")]
+
+    def test_removes_covered(self):
+        result = aggregate_prefixes(
+            [Prefix.parse("10.0.0.0/16"), Prefix.parse("10.0.3.0/24")]
+        )
+        assert result == [Prefix.parse("10.0.0.0/16")]
+
+    def test_cascading_merge(self):
+        quarters = list(Prefix.parse("10.0.0.0/22").subnets(24))
+        assert aggregate_prefixes(quarters) == [Prefix.parse("10.0.0.0/22")]
+
+    def test_disjoint_untouched(self):
+        prefixes = [Prefix.parse("10.0.0.0/24"), Prefix.parse("10.0.2.0/24")]
+        assert aggregate_prefixes(prefixes) == sorted(prefixes)
+
+    def test_empty(self):
+        assert aggregate_prefixes([]) == []

@@ -1,0 +1,84 @@
+"""Property-based tests for the prefix algebra (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import IPV4_MAX, Prefix, aggregate_prefixes, format_ipv4, parse_ipv4
+
+
+def prefixes(min_length=0, max_length=32):
+    return st.builds(
+        Prefix,
+        network=st.integers(min_value=0, max_value=IPV4_MAX),
+        length=st.integers(min_value=min_length, max_value=max_length),
+    )
+
+
+@given(st.integers(min_value=0, max_value=IPV4_MAX))
+def test_ipv4_parse_format_roundtrip(value):
+    assert parse_ipv4(format_ipv4(value)) == value
+
+
+@given(prefixes())
+def test_prefix_string_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(prefixes())
+def test_prefix_contains_itself(prefix):
+    assert prefix.contains(prefix)
+    assert prefix.is_subnet_of(prefix)
+
+
+@given(prefixes(max_length=31))
+def test_subnets_partition_parent(prefix):
+    children = list(prefix.subnets())
+    assert len(children) == 2
+    assert children[0] != children[1]
+    assert sum(child.size for child in children) == prefix.size
+    for child in children:
+        assert prefix.contains(child)
+        assert child.supernet() == prefix
+
+
+@given(prefixes(min_length=1))
+def test_supernet_contains_child(prefix):
+    assert prefix.supernet().contains(prefix)
+
+
+@given(prefixes(), prefixes())
+def test_common_supernet_covers_both(a, b):
+    common = a.common_supernet(b)
+    assert common.contains(a)
+    assert common.contains(b)
+
+
+@given(prefixes(), prefixes())
+def test_containment_is_antisymmetric_up_to_equality(a, b):
+    if a.contains(b) and b.contains(a):
+        assert a == b
+
+
+@given(prefixes(max_length=31))
+def test_sibling_aggregation_roundtrip(prefix):
+    left, right = prefix.subnets()
+    assert left.can_aggregate_with(right)
+    assert left.aggregate_with(right) == prefix
+
+
+@given(st.lists(prefixes(min_length=8, max_length=28), max_size=40))
+def test_aggregate_prefixes_preserves_coverage(prefix_list):
+    aggregated = aggregate_prefixes(prefix_list)
+    # Every original prefix is covered by some aggregated prefix.
+    for original in prefix_list:
+        assert any(agg.contains(original) for agg in aggregated)
+    # No aggregated prefix is covered by another one.
+    for i, a in enumerate(aggregated):
+        for j, b in enumerate(aggregated):
+            if i != j:
+                assert not a.contains(b)
+
+
+@given(st.lists(prefixes(), max_size=30))
+def test_aggregate_is_idempotent(prefix_list):
+    once = aggregate_prefixes(prefix_list)
+    assert aggregate_prefixes(once) == once

@@ -1,0 +1,111 @@
+"""Unit tests for the Gao-style relationship inference."""
+
+import pytest
+
+from repro.exceptions import InferenceError
+from repro.net.aspath import ASPath
+from repro.relationships.gao import GaoInference
+from repro.topology.graph import Relationship
+
+
+def hierarchy_paths():
+    """Paths over a small hierarchy observed from two Tier-1 vantage points.
+
+    Ground truth: AS1 and AS2 are Tier-1 peers with many direct stub
+    customers (so their degrees dominate, as in the real Internet); AS10 and
+    AS20 are transit customers of AS1/AS2; AS100, AS200, AS300 are stubs
+    below AS10/AS20.
+    """
+    texts = [
+        # Direct stub customers that give the Tier-1s the largest degrees.
+        *[f"1 {stub}" for stub in range(1100, 1110)],
+        *[f"2 {stub}" for stub in range(2100, 2110)],
+        # Transit branches observed from each Tier-1.
+        "1 10 100",
+        "1 10 200",
+        "1 10 100",
+        "2 20 300",
+        "2 20 300",
+        # Cross-Tier-1 paths (the peer edge appears only at the top).
+        "1 2 20 300",
+        "1 2 2100",
+        "2 1 10 100",
+        "2 1 10 200",
+        "2 1 1100",
+    ]
+    return [ASPath.parse(text) for text in texts]
+
+
+class TestGaoInference:
+    def test_transit_edges_inferred(self):
+        result = GaoInference(peer_degree_ratio=1.5).infer(hierarchy_paths())
+        graph = result.graph
+        assert graph.relationship(10, 100) is Relationship.CUSTOMER
+        assert graph.relationship(10, 200) is Relationship.CUSTOMER
+        assert graph.relationship(20, 300) is Relationship.CUSTOMER
+        assert graph.relationship(100, 10) is Relationship.PROVIDER
+
+    def test_tier1_edges_inferred(self):
+        result = GaoInference(peer_degree_ratio=1.5).infer(hierarchy_paths())
+        graph = result.graph
+        assert graph.relationship(1, 10) is Relationship.CUSTOMER
+        assert graph.relationship(2, 20) is Relationship.CUSTOMER
+
+    def test_peer_edge_between_tier1s(self):
+        result = GaoInference(peer_degree_ratio=1.5).infer(hierarchy_paths())
+        assert result.graph.relationship(1, 2) is Relationship.PEER
+
+    def test_degrees_computed_from_paths(self):
+        result = GaoInference().infer(hierarchy_paths())
+        assert result.degrees[10] == 3  # neighbors 1, 100, 200
+        assert result.degrees[100] == 1
+        assert result.degrees[1] == 12  # ten stubs + AS10 + AS2
+
+    def test_prepending_is_collapsed(self):
+        paths = [ASPath.parse("10 10 10 100"), ASPath.parse("10 100"), ASPath.parse("10 200")]
+        result = GaoInference().infer(paths)
+        assert result.graph.relationship(10, 100) in (
+            Relationship.CUSTOMER,
+            Relationship.PEER,
+        )
+
+    def test_sibling_detection_with_mutual_transit(self):
+        # AS5 and AS6 mutually provide transit for each other's stubs; the
+        # mutual-transit evidence is observed below a large upstream AS9 so
+        # that the votes are confident (non-top-adjacent) in both directions.
+        paths = [
+            *[ASPath.parse(f"9 {stub}") for stub in range(900, 910)],
+            ASPath.parse("9 5 6 61"),
+            ASPath.parse("9 5 6 62"),
+            ASPath.parse("9 6 5 51"),
+            ASPath.parse("9 6 5 52"),
+        ]
+        result = GaoInference(sibling_threshold=2, peer_degree_ratio=1.2).infer(paths)
+        assert result.graph.relationship(5, 6) is Relationship.SIBLING
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InferenceError):
+            GaoInference().infer([])
+
+    def test_single_as_paths_rejected(self):
+        with pytest.raises(InferenceError):
+            GaoInference().infer([ASPath.parse("7018")])
+
+    def test_plain_sequences_accepted(self):
+        result = GaoInference().infer([[10, 100], [10, 200], (1, 10, 100)])
+        assert result.graph.relationship(10, 100) is not None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InferenceError):
+            GaoInference(peer_degree_ratio=0.5)
+        with pytest.raises(InferenceError):
+            GaoInference(sibling_threshold=0)
+
+    def test_degree_gap_forces_transit_even_without_confident_votes(self):
+        # AS1 is huge (many neighbors), AS50 tiny; their edge is only ever
+        # top-adjacent, so the degree ratio decides: provider-to-customer.
+        paths = [ASPath.parse(f"1 {n}") for n in range(100, 120)]
+        paths.append(ASPath.parse("1 50"))
+        paths.append(ASPath.parse("50 1 100"))
+        result = GaoInference(peer_degree_ratio=3.0).infer(paths)
+        assert result.graph.relationship(1, 50) is Relationship.CUSTOMER

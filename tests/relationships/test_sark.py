@@ -1,0 +1,46 @@
+"""Unit tests for the rank-based inference baseline."""
+
+import pytest
+
+from repro.exceptions import InferenceError
+from repro.net.aspath import ASPath
+from repro.relationships.sark import RankBasedInference
+from repro.topology.graph import Relationship
+
+
+def paths():
+    return [
+        ASPath.parse("1 10 100"),
+        ASPath.parse("1 10 200"),
+        ASPath.parse("1 2 20 300"),
+        ASPath.parse("2 20 300"),
+        ASPath.parse("2 1 10 100"),
+    ]
+
+
+class TestRankBasedInference:
+    def test_higher_degree_becomes_provider(self):
+        result = RankBasedInference(peer_ratio=1.4).infer(paths())
+        graph = result.graph
+        assert graph.relationship(10, 100) is Relationship.CUSTOMER
+        assert graph.relationship(20, 300) is Relationship.CUSTOMER
+
+    def test_comparable_degrees_become_peers(self):
+        result = RankBasedInference(peer_ratio=1.4).infer(paths())
+        assert result.graph.relationship(1, 2) is Relationship.PEER
+
+    def test_degrees_reported(self):
+        result = RankBasedInference().infer(paths())
+        assert result.degrees[1] == 2  # neighbors: AS10 and AS2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InferenceError):
+            RankBasedInference().infer([])
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(InferenceError):
+            RankBasedInference(peer_ratio=0.9)
+
+    def test_accepts_plain_sequences(self):
+        result = RankBasedInference().infer([[7, 8], [7, 9], [7, 8, 10]])
+        assert result.graph.relationship(7, 8) is not None
