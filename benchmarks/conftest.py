@@ -1,10 +1,10 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark reproduces one table or figure of the paper against the
-standard (memoised) dataset, prints the reproduced rows so they can be read
-next to the paper, and records the wall-clock cost of the analysis itself
-(dataset construction is paid once per session and benchmarked separately in
-``test_bench_pipeline.py``).
+standard scenario's dataset (built once per session through the session
+layer's stage cache), prints the reproduced rows so they can be read next to
+the paper, and records the wall-clock cost of the analysis itself (dataset
+construction is benchmarked separately in ``test_bench_pipeline.py``).
 
 Run with::
 
@@ -17,9 +17,10 @@ import pathlib
 
 import pytest
 
-from repro.data.dataset import StudyDataset, default_dataset
+from repro.data.dataset import StudyDataset
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import get_experiment
+from repro.experiments.registry import experiment_class
+from repro.session import StageView, get_scenario
 
 #: Where each benchmark writes the reproduced table for later inspection.
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -28,7 +29,7 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 @pytest.fixture(scope="session")
 def dataset() -> StudyDataset:
     """The standard study dataset, built once per benchmark session."""
-    return default_dataset()
+    return get_scenario("standard").study().dataset()
 
 
 @pytest.fixture(scope="session")
@@ -36,9 +37,11 @@ def run_experiment(dataset):
     """Return a helper that benchmarks one experiment and prints its table."""
 
     def runner(benchmark, experiment_id: str) -> ExperimentResult:
-        experiment = get_experiment(experiment_id)
+        cls = experiment_class(experiment_id)
+        experiment = cls()
+        view = StageView(dataset, cls.requires)
         result = benchmark.pedantic(
-            experiment.run, args=(dataset,), rounds=1, iterations=1, warmup_rounds=0
+            experiment.run, args=(view,), rounds=1, iterations=1, warmup_rounds=0
         )
         rendered = result.render()
         print()

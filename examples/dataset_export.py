@@ -20,13 +20,13 @@ import sys
 
 from repro.core.export_policy import ExportPolicyAnalyzer
 from repro.data.archive import export_dataset, load_dataset
-from repro.data.dataset import small_dataset
 from repro.reporting.tables import ascii_table
+from repro.session import get_scenario
 
 
 def main() -> None:
     output_dir = sys.argv[1] if len(sys.argv) > 1 else "study-archive"
-    dataset = small_dataset()
+    dataset = get_scenario("small").study().dataset()
     root = export_dataset(dataset, output_dir)
     print(f"Exported the study dataset to {root}/")
     print((root / "MANIFEST.txt").read_text())

@@ -18,24 +18,26 @@ Run with::
 """
 
 from repro.core.community import CommunityAnalyzer
-from repro.data.dataset import DatasetParameters, build_dataset
 from repro.relationships.gao import GaoInference
 from repro.relationships.sark import RankBasedInference
 from repro.relationships.validation import compare_with_ground_truth
 from repro.reporting.tables import ascii_table, format_percent
+from repro.session import ObservationParameters, Study, StudyConfig
 from repro.topology.generator import GeneratorParameters
 
 
 def main() -> None:
-    dataset = build_dataset(
-        DatasetParameters(
+    study = Study(
+        StudyConfig(
             topology=GeneratorParameters(
                 seed=404, tier1_count=5, tier2_count=12, tier3_count=25, stub_count=160
             ),
-            looking_glass_count=10,
-            collector_vantage_count=16,
+            observation=ObservationParameters(
+                looking_glass_count=10, collector_vantage_count=16
+            ),
         )
     )
+    dataset = study.dataset()
     paths = dataset.collector.all_paths()
     print(
         f"Internet: {len(dataset.ground_truth_graph)} ASes, "

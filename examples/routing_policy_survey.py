@@ -19,12 +19,12 @@ from repro.core.consistency import ConsistencyAnalyzer
 from repro.core.export_policy import ExportPolicyAnalyzer
 from repro.core.import_policy import ImportPolicyAnalyzer
 from repro.core.peer_export import PeerExportAnalyzer
-from repro.data.dataset import small_dataset
 from repro.reporting.tables import ascii_table, format_percent
+from repro.session import get_scenario
 
 
 def main() -> None:
-    dataset = small_dataset()
+    dataset = get_scenario("small").study().dataset()
     graph = dataset.ground_truth_graph
     glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
 

@@ -1,6 +1,21 @@
 """repro — reproduction of Wang & Gao, "On Inferring and Characterizing
 Internet Routing Policies" (IMC 2003).
 
+The front door is the **session API**: a staged, cacheable
+:class:`~repro.session.study.Study` (``topology -> policies -> propagation
+-> observation -> irr``) with named scenario presets and a parallel
+experiment runner::
+
+    from repro.session import get_scenario, run_suite
+
+    study = get_scenario("small").study()
+    report = run_suite(study, ["table5", "table9"], workers=2)
+    print(report.render())
+
+``study.with_(policy=...)`` derives a variant that reuses every cached
+upstream stage — a sensitivity sweep pays topology generation once.  The
+same pipeline powers the CLI: ``python -m repro run --scenario small``.
+
 The package is organised bottom-up:
 
 * :mod:`repro.net` — prefixes, AS paths, radix trie, address allocation.
@@ -13,15 +28,18 @@ The package is organised bottom-up:
 * :mod:`repro.simulation` — policy-aware BGP route propagation, collectors
   (RouteViews-style and Looking Glass), and multi-snapshot timelines.
 * :mod:`repro.data` — on-disk formats (MRT-style dumps, ``show ip bgp`` text,
-  RPSL/IRR) and dataset assembly.
+  RPSL/IRR) and the flat :class:`~repro.data.dataset.StudyDataset` view.
+* :mod:`repro.session` — the staged Study pipeline, the content-addressed
+  stage cache, scenario presets and the ``run_suite`` runner.
 * :mod:`repro.core` — the paper's contribution: import-policy inference,
   SA-prefix (export-policy) inference, verification, cause attribution,
   persistence, peer-export and community-based relationship verification.
-* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.experiments` — one module per table/figure of the paper, each
+  declaring the pipeline stages it requires.
 * :mod:`repro.reporting` — ASCII tables and series used by the experiments.
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 from repro.exceptions import (
     ASPathError,

@@ -1,0 +1,137 @@
+"""Command-line interface of the repro package.
+
+Usage::
+
+    python -m repro run                          # every experiment, standard scenario
+    python -m repro run table5 fig2 --scenario small
+    python -m repro run --scenario large --workers 4 --json
+    python -m repro run table5 --seed 42 --output-dir out/
+    python -m repro list                         # experiment ids + required stages
+    python -m repro scenarios                    # scenario presets
+
+``python -m repro.experiments`` remains as a thin compatibility shim over
+``python -m repro run``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.exceptions import ReproError
+from repro.session.scenarios import all_scenarios, get_scenario
+from repro.session.suite import SuiteReport, run_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the tables and figures of Wang & Gao (IMC 2003).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run experiments against a scenario")
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help="experiment identifiers to run (default: all)",
+    )
+    run.add_argument(
+        "--scenario",
+        default="standard",
+        help="scenario preset to run against (see 'scenarios'; default: standard)",
+    )
+    run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="derive every stage seed from this value (default: the scenario's seeds)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="thread-pool size for independent experiments (default: 1)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the structured SuiteReport as JSON instead of ASCII tables",
+    )
+    run.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write per-experiment .txt tables and suite.json to this directory",
+    )
+
+    commands.add_parser("list", help="list experiment identifiers and required stages")
+    commands.add_parser("scenarios", help="list scenario presets")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    study = get_scenario(args.scenario).study()
+    if args.seed is not None:
+        study = study.seeded(args.seed)
+    report = run_suite(
+        study,
+        args.experiments or None,
+        workers=args.workers,
+        scenario=args.scenario,
+    )
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.output_dir is not None:
+        _write_outputs(report, args.output_dir)
+    return 0
+
+
+def _write_outputs(report: SuiteReport, output_dir: pathlib.Path) -> None:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for experiment in report.experiments:
+        path = output_dir / f"{experiment.experiment_id}.txt"
+        path.write_text(experiment.render() + "\n")
+    (output_dir / "suite.json").write_text(report.to_json() + "\n")
+    print(f"wrote {len(report.experiments)} tables + suite.json to {output_dir}/",
+          file=sys.stderr)
+
+
+def _command_list() -> int:
+    from repro.experiments.registry import all_experiments
+
+    for experiment in all_experiments():
+        stages = ",".join(sorted(stage.value for stage in experiment.requires)) or "-"
+        print(f"{experiment.experiment_id:10s} [{stages}] {experiment.title}")
+    return 0
+
+
+def _command_scenarios() -> int:
+    for scenario in all_scenarios():
+        print(f"{scenario.name:20s} {scenario.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "list":
+            return _command_list()
+        return _command_scenarios()
+    except BrokenPipeError:  # e.g. `python -m repro run | head`
+        return 0
+    except ReproError as error:  # unknown scenario/experiment, bad workers, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -16,7 +16,9 @@ from a simulation:
   staleness.
 * :mod:`repro.data.dataset` — the :class:`~repro.data.dataset.StudyDataset`
   combining collector tables, Looking Glass views, the IRR and ground truth,
-  mirroring the paper's Section 3 / Table 1 inventory.
+  mirroring the paper's Section 3 / Table 1 inventory.  Assembled from the
+  staged :mod:`repro.session` pipeline; the legacy entry points here remain
+  as thin delegates.
 """
 
 from repro.data.archive import ArchivedDataset, export_dataset, load_dataset

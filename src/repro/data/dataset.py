@@ -1,4 +1,4 @@
-"""Assembly of the full study dataset (paper Section 3, Table 1).
+"""The flat study dataset (paper Section 3, Table 1) — a view over the stages.
 
 The paper's dataset is: the Oregon RouteViews table (56 peer ASes, AS paths
 only), BGP tables from 15 ASes' Looking Glass servers (LOCAL_PREF and
@@ -7,38 +7,39 @@ communities visible, 3 of them Tier-1s), and the IRR database.  A
 policy assignment, one propagation run observed at the collector's vantage
 ASes and at the Looking Glass ASes, plus a synthetic IRR.
 
-Everything the experiment modules need hangs off this object, and
-:func:`default_dataset` memoises the standard configuration so the benchmark
-harness pays the simulation cost only once per session.
+Since the :mod:`repro.session` redesign the dataset is assembled from the
+staged :class:`~repro.session.study.Study` pipeline; this module keeps the
+flat view and the legacy entry points (:func:`build_dataset`,
+:func:`default_dataset`, :func:`small_dataset`) as thin delegates so existing
+code keeps working.  New code should prefer the session API::
+
+    from repro.session import get_scenario
+    dataset = get_scenario("standard").study().dataset()
 """
 
 from __future__ import annotations
 
-import functools
-import random
 from dataclasses import dataclass, field
 
 from repro.data.rpsl import IrrDatabase
 from repro.exceptions import SimulationError
 from repro.net.asn import ASN
-from repro.simulation.collector import CollectorTable, LookingGlass, RouteViewsCollector
-from repro.simulation.policies import PolicyAssignment, PolicyGenerator, PolicyParameters
-from repro.simulation.propagation import PropagationEngine, SimulationResult
-from repro.topology.generator import GeneratorParameters, InternetGenerator, SyntheticInternet
-
-#: Regions used to synthesise the Table 1 style inventory.
-_REGIONS = ("NA", "Eu", "Au", "As")
-_REGION_WEIGHTS = (0.55, 0.35, 0.05, 0.05)
+from repro.simulation.collector import CollectorTable, LookingGlass
+from repro.simulation.policies import PolicyAssignment, PolicyParameters
+from repro.simulation.propagation import SimulationResult
+from repro.topology.generator import GeneratorParameters, SyntheticInternet
 
 
-@dataclass
+@dataclass(frozen=True)
 class DatasetParameters:
-    """Configuration of the study dataset.
+    """Configuration of the study dataset (legacy flat form).
 
-    The default topology is deliberately smaller than the default
-    :class:`GeneratorParameters` Internet so that the full experiment suite
-    runs in minutes; the scale can be raised without touching any experiment
-    code.
+    Frozen (immutable and hashable): :func:`build_dataset` can no longer be
+    affected by callers mutating the parameters after the fact, and a
+    parameter set can key the :mod:`repro.session` stage cache.  The staged
+    equivalent is :class:`repro.session.StudyConfig`; the two convert losslessly
+    via :meth:`repro.session.StudyConfig.from_dataset_parameters` and
+    :meth:`repro.session.StudyConfig.dataset_parameters`.
 
     Attributes:
         topology: the synthetic-Internet generator parameters.
@@ -92,9 +93,9 @@ class ASInfo:
     is_vantage: bool = False
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: hashable + usable as a weak cache key
 class StudyDataset:
-    """The complete dataset every experiment consumes.
+    """The complete dataset every experiment consumes (flat compatibility view).
 
     Attributes:
         parameters: the dataset configuration.
@@ -132,6 +133,11 @@ class StudyDataset:
         """The ground-truth annotated AS graph."""
         return self.internet.graph
 
+    @property
+    def cache_token(self) -> int:
+        """Identity token used by per-dataset memo caches (experiments.common)."""
+        return id(self)
+
     def looking_glass_of(self, asn: ASN) -> LookingGlass:
         """Return the Looking Glass view of an AS.
 
@@ -155,102 +161,29 @@ class StudyDataset:
 def build_dataset(parameters: DatasetParameters | None = None) -> StudyDataset:
     """Generate the Internet, assign policies, simulate, and observe.
 
-    This is the one entry point the examples, tests and benchmarks use to get
-    a fully populated dataset.
+    Legacy one-shot entry point; delegates to a staged
+    :class:`~repro.session.study.Study` with an isolated cache, so every call
+    builds a fresh dataset exactly like the seed API did.
     """
-    params = parameters or DatasetParameters()
-    params.validate()
-    rng = random.Random(params.seed)
+    from repro.session.cache import StageCache
+    from repro.session.study import study_from_dataset_parameters
 
-    internet = InternetGenerator(params.topology).generate()
-    graph = internet.graph
-    tier1 = internet.tier1
-
-    # Pick the Looking Glass ASes: a few Tier-1s plus transit ASes below them.
-    non_tier1_transit = sorted(
-        asn for asn in graph.ases() if asn not in set(tier1) and graph.customers_of(asn)
-    )
-    tier1_lg = tier1[: params.tier1_looking_glass_count]
-    other_lg_count = min(
-        params.looking_glass_count - len(tier1_lg), len(non_tier1_transit)
-    )
-    other_lg = rng.sample(non_tier1_transit, k=other_lg_count) if other_lg_count else []
-    looking_glass_ases = sorted(set(tier1_lg) | set(other_lg))
-
-    # Pick the collector's vantage ASes: every Tier-1 plus large transit ASes.
-    vantage_pool = sorted(
-        (asn for asn in non_tier1_transit), key=graph.degree, reverse=True
-    )
-    extra_vantages = vantage_pool[: max(0, params.collector_vantage_count - len(tier1))]
-    vantage_ases = sorted(set(tier1) | set(extra_vantages))
-
-    policy_generator = PolicyGenerator(params.policy)
-    assignment = policy_generator.generate(internet, looking_glass_ases=looking_glass_ases)
-
-    observed = sorted(set(vantage_ases) | set(looking_glass_ases))
-    engine = PropagationEngine(internet, assignment, observed_ases=observed)
-    result = engine.run()
-
-    collector = RouteViewsCollector(vantage_ases).collect(result)
-    looking_glasses = {
-        asn: LookingGlass.from_result(result, asn) for asn in looking_glass_ases
-    }
-    irr = IrrDatabase.from_assignment(
-        internet,
-        assignment,
-        registration_probability=params.irr_registration_probability,
-        stale_probability=params.irr_stale_probability,
-        seed=params.seed,
-    )
-
-    dataset = StudyDataset(
-        parameters=params,
-        internet=internet,
-        assignment=assignment,
-        result=result,
-        collector=collector,
-        looking_glasses=looking_glasses,
-        irr=irr,
-        vantage_ases=vantage_ases,
-        looking_glass_ases=looking_glass_ases,
-    )
-    _attach_as_info(dataset, rng)
-    return dataset
+    return study_from_dataset_parameters(parameters, cache=StageCache()).dataset()
 
 
-def _attach_as_info(dataset: StudyDataset, rng: random.Random) -> None:
-    """Synthesise the Table 1 style inventory for the dataset's vantage points."""
-    graph = dataset.ground_truth_graph
-    tiers = dataset.internet.tiers
-    inventory_ases = sorted(set(dataset.vantage_ases) | set(dataset.looking_glass_ases))
-    for asn in inventory_ases:
-        location = rng.choices(_REGIONS, weights=_REGION_WEIGHTS, k=1)[0]
-        dataset.as_info[asn] = ASInfo(
-            asn=asn,
-            name=f"AS{asn} Networks",
-            degree=graph.degree(asn),
-            location=location,
-            tier=tiers.tier_of(asn),
-            is_looking_glass=asn in set(dataset.looking_glass_ases),
-            is_vantage=asn in set(dataset.vantage_ases),
-        )
-
-
-@functools.lru_cache(maxsize=2)
 def default_dataset() -> StudyDataset:
-    """The memoised standard dataset shared by experiments and benchmarks."""
-    return build_dataset(DatasetParameters())
+    """The standard dataset shared by experiments and benchmarks.
+
+    Memoised through the session layer's global stage cache (the successor
+    of the seed API's ``lru_cache`` singleton).
+    """
+    from repro.session.scenarios import get_scenario
+
+    return get_scenario("standard").study().dataset()
 
 
-@functools.lru_cache(maxsize=2)
 def small_dataset() -> StudyDataset:
     """A smaller memoised dataset for quick runs and the test suite."""
-    parameters = DatasetParameters(
-        topology=GeneratorParameters(
-            seed=7, tier1_count=5, tier2_count=10, tier3_count=20, stub_count=110
-        ),
-        looking_glass_count=8,
-        tier1_looking_glass_count=3,
-        collector_vantage_count=12,
-    )
-    return build_dataset(parameters)
+    from repro.session.scenarios import get_scenario
+
+    return get_scenario("small").study().dataset()

@@ -1,11 +1,14 @@
-"""Command-line entry point: run the experiments and print the tables.
+"""Legacy command-line entry point — thin shim over ``python -m repro``.
 
 Usage::
 
-    python -m repro.experiments                 # run everything (standard dataset)
+    python -m repro.experiments                 # run everything (standard scenario)
     python -m repro.experiments table5 fig2     # run selected experiments
-    python -m repro.experiments --small         # use the small dataset (quick)
+    python -m repro.experiments --small         # use the small scenario (quick)
     python -m repro.experiments --list          # list experiment identifiers
+
+New code should call ``python -m repro run`` directly, which adds
+``--scenario``, ``--seed``, ``--workers``, ``--json`` and ``--output-dir``.
 """
 
 from __future__ import annotations
@@ -13,12 +16,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.data.dataset import default_dataset, small_dataset
-from repro.experiments.registry import all_experiments, get_experiment
+from repro.cli import main as cli_main
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run the requested experiments and print their rendered results."""
+    """Translate the legacy flags and delegate to :mod:`repro.cli`."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the tables and figures of Wang & Gao (IMC 2003).",
@@ -31,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--small",
         action="store_true",
-        help="use the small dataset for a quick run",
+        help="use the small scenario for a quick run",
     )
     parser.add_argument(
         "--list", action="store_true", dest="list_only", help="list experiment ids and exit"
@@ -39,21 +41,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_only:
-        for experiment in all_experiments():
-            print(f"{experiment.experiment_id:10s} {experiment.title}")
-        return 0
-
-    dataset = small_dataset() if args.small else default_dataset()
-    if args.experiments:
-        selected = [get_experiment(identifier) for identifier in args.experiments]
-    else:
-        selected = all_experiments()
-
-    for experiment in selected:
-        result = experiment.run(dataset)
-        print(result.render())
-        print()
-    return 0
+        return cli_main(["list"])
+    forwarded = ["run", *args.experiments]
+    if args.small:
+        forwarded += ["--scenario", "small"]
+    return cli_main(forwarded)
 
 
 if __name__ == "__main__":

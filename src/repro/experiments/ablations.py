@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core.causes import CauseAnalyzer
 from repro.core.export_policy import ExportPolicyAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
@@ -34,8 +34,9 @@ class AblationExperiment(Experiment):
     experiment_id = "ablations"
     title = "Ablations: inferred relationships, route visibility, vantage count"
     paper_reference = "DESIGN.md Section 5 (supports paper Sections 4.3 and 5.1.5)"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         result.headers = ["ablation", "provider", "variant", "value"]
         self._relationship_ablation(dataset, result)
@@ -45,7 +46,7 @@ class AblationExperiment(Experiment):
 
     # -- inferred vs ground-truth relationships ----------------------------------
 
-    def _relationship_ablation(self, dataset: StudyDataset, result: ExperimentResult) -> None:
+    def _relationship_ablation(self, dataset: StageView, result: ExperimentResult) -> None:
         inferred_graph = GaoInference().infer(dataset.collector.all_paths()).graph
         inferred_analyzer = ExportPolicyAnalyzer(inferred_graph)
         tables = provider_tables(dataset)
@@ -71,7 +72,7 @@ class AblationExperiment(Experiment):
 
     # -- best routes vs all routes ---------------------------------------------------
 
-    def _visibility_ablation(self, dataset: StudyDataset, result: ExperimentResult) -> None:
+    def _visibility_ablation(self, dataset: StageView, result: ExperimentResult) -> None:
         graph = dataset.ground_truth_graph
         tables = provider_tables(dataset)
         for provider, report in sa_reports(dataset).items():
@@ -100,7 +101,7 @@ class AblationExperiment(Experiment):
 
     # -- collector vantage count ------------------------------------------------------------
 
-    def _vantage_ablation(self, dataset: StudyDataset, result: ExperimentResult) -> None:
+    def _vantage_ablation(self, dataset: StageView, result: ExperimentResult) -> None:
         analyzer = CauseAnalyzer(dataset.ground_truth_graph)
         reports = sa_reports(dataset)
         provider = next(iter(reports))
@@ -120,5 +121,5 @@ class AblationExperiment(Experiment):
         )
 
     @staticmethod
-    def _collector_subset(dataset: StudyDataset, vantages: list[int]) -> CollectorTable:
+    def _collector_subset(dataset: StageView, vantages: list[int]) -> CollectorTable:
         return RouteViewsCollector(vantages).collect(dataset.result)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.atoms import PolicyAtomAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
@@ -17,8 +17,9 @@ class PolicyAtomExperiment(Experiment):
     experiment_id = "atoms"
     title = "Policy atoms of the collector table and their relation to SA prefixes"
     paper_reference = "Section 5.1.5 discussion of Afek et al. [21] (extension)"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = PolicyAtomAnalyzer()
         atoms = analyzer.compute_atoms(dataset.collector)

@@ -5,8 +5,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-from repro.data.dataset import StudyDataset
 from repro.reporting.tables import ascii_table
+from repro.session.stages import ALL_STAGES, Stage, StageView
 
 
 @dataclass
@@ -44,7 +44,14 @@ class ExperimentResult:
 
 
 class Experiment(abc.ABC):
-    """Base class for one table/figure reproduction."""
+    """Base class for one table/figure reproduction.
+
+    Subclasses declare ``requires`` — the pipeline stages their analysis
+    reads.  ``run_suite`` hands ``run`` a :class:`StageView` exposing exactly
+    those stages (accessing anything else raises), which keeps the declared
+    dependencies honest and lets independent experiments run concurrently
+    over the same read-only stage artifacts.
+    """
 
     #: Registry identifier, e.g. ``"table5"``.
     experiment_id: str = ""
@@ -52,10 +59,15 @@ class Experiment(abc.ABC):
     title: str = ""
     #: The table/figure and section of the paper being reproduced.
     paper_reference: str = ""
+    #: The pipeline stages this experiment reads (see :class:`Stage`).
+    requires: frozenset[Stage] = ALL_STAGES
 
     @abc.abstractmethod
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
-        """Execute the experiment against a study dataset."""
+    def run(self, dataset: StageView) -> ExperimentResult:
+        """Execute the experiment against a stage view of a study dataset.
+
+        A plain :class:`~repro.data.dataset.StudyDataset` is also accepted
+        (it exposes the same attributes, ungated)."""
 
     def _result(self) -> ExperimentResult:
         """Create an empty result pre-filled with this experiment's metadata."""

@@ -3,18 +3,22 @@
 Several tables consume the same intermediate products (the SA-prefix reports
 of the studied providers, the set of tagging Looking Glass ASes, the
 persistence timeline).  Computing them once per dataset keeps the experiment
-suite fast; the caches are keyed by dataset identity so different datasets
-never share results.
+suite fast; the caches are keyed by dataset identity (``cache_token``), so
+different datasets never share results and every :class:`StageView` over the
+same dataset does.  A lock serialises cache fills so ``run_suite`` workers
+don't duplicate the heavy computations.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
+import weakref
 
 from repro.bgp.rib import LocRib
 from repro.core.export_policy import ExportPolicyAnalyzer, SAPrefixReport
-from repro.data.dataset import StudyDataset
 from repro.net.asn import ASN
+from repro.session.stages import StageView
 from repro.simulation.collector import LookingGlass
 from repro.simulation.policies import PolicyGenerator, PolicyParameters
 from repro.simulation.timeline import Snapshot, Timeline, TimelineParameters
@@ -24,34 +28,50 @@ from repro.topology.generator import GeneratorParameters, InternetGenerator
 #: AS7018" in the paper).
 STUDY_PROVIDER_COUNT = 3
 
-_sa_cache: dict[int, dict[ASN, SAPrefixReport]] = {}
-_table_cache: dict[int, dict[ASN, LocRib]] = {}
+# Weak-keyed by the underlying StudyDataset object: entries vanish with the
+# dataset (no growth over a long session, no stale hit if a dead dataset's
+# memory address gets reused by a new one).
+_sa_cache: "weakref.WeakKeyDictionary[object, dict[ASN, SAPrefixReport]]" = (
+    weakref.WeakKeyDictionary()
+)
+_table_cache: "weakref.WeakKeyDictionary[object, dict[ASN, LocRib]]" = (
+    weakref.WeakKeyDictionary()
+)
+_cache_lock = threading.Lock()
 
 
-def provider_tables(dataset: StudyDataset, count: int | None = None) -> dict[ASN, LocRib]:
+def _cache_key(dataset) -> object:
+    """The underlying dataset object, stable across StageView wrappers."""
+    return dataset._dataset if isinstance(dataset, StageView) else dataset
+
+
+def provider_tables(dataset: StageView, count: int | None = None) -> dict[ASN, LocRib]:
     """The routing tables of the studied (largest Tier-1) providers."""
-    key = id(dataset)
-    if key not in _table_cache:
-        providers = dataset.providers_under_study(count or STUDY_PROVIDER_COUNT)
-        _table_cache[key] = {
-            provider: dataset.result.table_of(provider) for provider in providers
-        }
-    return _table_cache[key]
+    key = _cache_key(dataset)
+    with _cache_lock:
+        if key not in _table_cache:
+            providers = dataset.providers_under_study(count or STUDY_PROVIDER_COUNT)
+            _table_cache[key] = {
+                provider: dataset.result.table_of(provider) for provider in providers
+            }
+        return _table_cache[key]
 
 
-def sa_reports(dataset: StudyDataset) -> dict[ASN, SAPrefixReport]:
+def sa_reports(dataset: StageView) -> dict[ASN, SAPrefixReport]:
     """The Fig. 4 SA-prefix reports for the studied providers."""
-    key = id(dataset)
-    if key not in _sa_cache:
-        analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
-        _sa_cache[key] = analyzer.analyze_providers(
-            provider_tables(dataset),
-            known_customer_prefixes=dataset.internet.originated,
-        )
-    return _sa_cache[key]
+    key = _cache_key(dataset)
+    tables = provider_tables(dataset)
+    with _cache_lock:
+        if key not in _sa_cache:
+            analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
+            _sa_cache[key] = analyzer.analyze_providers(
+                tables,
+                known_customer_prefixes=dataset.internet.originated,
+            )
+        return _sa_cache[key]
 
 
-def all_provider_reports(dataset: StudyDataset) -> dict[ASN, SAPrefixReport]:
+def all_provider_reports(dataset: StageView) -> dict[ASN, SAPrefixReport]:
     """SA-prefix reports for every observed AS that has customers (Table 5)."""
     analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
     graph = dataset.ground_truth_graph
@@ -65,7 +85,7 @@ def all_provider_reports(dataset: StudyDataset) -> dict[ASN, SAPrefixReport]:
     )
 
 
-def tagging_glasses(dataset: StudyDataset) -> list[LookingGlass]:
+def tagging_glasses(dataset: StageView) -> list[LookingGlass]:
     """Looking Glass ASes that tag routes with relationship communities."""
     return [
         dataset.looking_glass_of(asn)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.consistency import ConsistencyAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
@@ -16,12 +16,13 @@ class Figure2Experiment(Experiment):
     experiment_id = "fig2"
     title = "Consistency of local preference with next-hop ASes"
     paper_reference = "Figure 2, Section 4.2"
+    requires = frozenset({Stage.OBSERVATION})
 
     #: Number of synthetic backbone routers for the Fig. 2(b) panel (the
     #: paper uses 30 AT&T routers).
     router_count = 30
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = ConsistencyAnalyzer()
         glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]

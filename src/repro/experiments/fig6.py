@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.persistence import PersistenceAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import persistence_snapshots
 from repro.experiments.registry import register
@@ -16,13 +16,14 @@ class Figure6Experiment(Experiment):
     experiment_id = "fig6"
     title = "Persistence of SA prefixes (per-snapshot counts)"
     paper_reference = "Figure 6, Section 5.1.4"
+    requires = frozenset()
 
     #: Snapshots for the "month" panel (the paper has 31 daily snapshots) and
     #: for the intra-day panel (12 two-hour snapshots).
     month_snapshots = 31
     day_snapshots = 12
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         result.headers = ["panel", "snapshot", "all prefixes", "SA prefixes"]
         for panel, count, seed in (

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.persistence import PersistenceAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import persistence_snapshots
 from repro.experiments.registry import register
@@ -17,11 +17,12 @@ class Figure7Experiment(Experiment):
     experiment_id = "fig7"
     title = "Prefixes remaining SA vs. shifting from SA to non-SA"
     paper_reference = "Figure 7, Section 5.1.4"
+    requires = frozenset()
 
     month_snapshots = 31
     day_snapshots = 12
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         result.headers = ["panel", "uptime", "remaining as SA", "shifting SA->non-SA"]
         for panel, count, seed in (

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.community import CommunityAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
 
@@ -15,12 +15,13 @@ class Figure9Experiment(Experiment):
     experiment_id = "fig9"
     title = "Prefixes announced by the next-hop ASes, by rank"
     paper_reference = "Figure 9, Appendix"
+    requires = frozenset({Stage.TOPOLOGY, Stage.OBSERVATION})
 
     #: How many Looking Glass ASes to plot (the paper shows AS1, AS3549 and
     #: AS8736 — two provider-free ASes and one with a provider).
     view_count = 3
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = CommunityAnalyzer()
         tier1 = set(dataset.tier1_ases)

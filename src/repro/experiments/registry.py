@@ -1,38 +1,58 @@
-"""Registry of experiments, keyed by experiment identifier."""
+"""Registry of experiments, keyed by experiment identifier.
+
+The registry stores experiment *classes*, not instances: an experiment may
+keep per-run state, and a shared instance would leak that state across suite
+runs.  ``run_suite`` (and :func:`get_experiment`) instantiate a fresh object
+per use.
+"""
 
 from __future__ import annotations
 
 from repro.exceptions import ExperimentError
 from repro.experiments.base import Experiment
 
-_REGISTRY: dict[str, Experiment] = {}
+_REGISTRY: dict[str, type[Experiment]] = {}
 
 
 def register(experiment_class: type[Experiment]) -> type[Experiment]:
-    """Class decorator: instantiate and register an experiment."""
-    instance = experiment_class()
-    if not instance.experiment_id:
+    """Class decorator: register an experiment class by its identifier."""
+    identifier = experiment_class.experiment_id
+    if not identifier:
         raise ExperimentError(f"{experiment_class.__name__} has no experiment_id")
-    if instance.experiment_id in _REGISTRY:
-        raise ExperimentError(f"duplicate experiment id: {instance.experiment_id}")
-    _REGISTRY[instance.experiment_id] = instance
+    if identifier in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id: {identifier}")
+    _REGISTRY[identifier] = experiment_class
     return experiment_class
 
 
-def get_experiment(experiment_id: str) -> Experiment:
-    """Look up one experiment by identifier.
+def experiment_class(experiment_id: str) -> type[Experiment]:
+    """Look up one experiment class by identifier.
 
     Raises:
         ExperimentError: for unknown identifiers.
     """
-    experiment = _REGISTRY.get(experiment_id)
-    if experiment is None:
+    cls = _REGISTRY.get(experiment_id)
+    if cls is None:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
         )
-    return experiment
+    return cls
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """A fresh instance of one experiment.
+
+    Raises:
+        ExperimentError: for unknown identifiers.
+    """
+    return experiment_class(experiment_id)()
+
+
+def experiment_ids() -> list[str]:
+    """Every registered experiment identifier, sorted."""
+    return sorted(_REGISTRY)
 
 
 def all_experiments() -> list[Experiment]:
-    """Every registered experiment, ordered by identifier."""
-    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+    """A fresh instance of every registered experiment, ordered by identifier."""
+    return [_REGISTRY[key]() for key in sorted(_REGISTRY)]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
 
@@ -14,8 +14,9 @@ class Table1Experiment(Experiment):
     experiment_id = "table1"
     title = "Characteristics of the collector and Looking Glass vantage points"
     paper_reference = "Table 1, Section 3"
+    requires = frozenset({Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         result.headers = ["AS", "name", "degree", "tier", "location", "looking glass", "collector peer"]
         for asn in sorted(dataset.as_info):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.peer_export import PeerExportAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables
 from repro.experiments.registry import register
@@ -17,8 +17,9 @@ class Table10Experiment(Experiment):
     experiment_id = "table10"
     title = "Peers announcing their prefixes directly to the studied ASes"
     paper_reference = "Table 10, Section 5.2"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = PeerExportAnalyzer(dataset.ground_truth_graph)
         reports = analyzer.analyze_many(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.community import CommunityAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.exceptions import ExperimentError
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import tagging_glasses
@@ -18,8 +18,9 @@ class Table11Experiment(Experiment):
     experiment_id = "table11"
     title = "Tagging communities of one AS (published plan vs. inferred semantics)"
     paper_reference = "Table 11, Appendix"
+    requires = frozenset({Stage.TOPOLOGY, Stage.POLICIES, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         glasses = tagging_glasses(dataset)
         if not glasses:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.import_policy import ImportPolicyAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
@@ -16,8 +16,9 @@ class Table2Experiment(Experiment):
     experiment_id = "table2"
     title = "Typical local preference assignment (from BGP tables)"
     paper_reference = "Table 2, Section 4.1"
+    requires = frozenset({Stage.TOPOLOGY, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = ImportPolicyAnalyzer(dataset.ground_truth_graph)
         glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]

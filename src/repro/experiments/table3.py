@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.import_policy import ImportPolicyAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
@@ -16,13 +16,14 @@ class Table3Experiment(Experiment):
     experiment_id = "table3"
     title = "Typical local preference assignment (from the IRR)"
     paper_reference = "Table 3, Section 4.1"
+    requires = frozenset({Stage.TOPOLOGY, Stage.IRR})
 
     #: Minimum number of neighbors with registered preferences and known
     #: relationships (the paper uses 50 on the real Internet; the synthetic
     #: Internet is smaller, so the bar is lowered proportionally).
     min_neighbors = 5
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = ImportPolicyAnalyzer(dataset.ground_truth_graph)
         rows = analyzer.analyze_irr(

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.community import CommunityAnalyzer
 from repro.core.verification import Verifier
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import tagging_glasses
 from repro.experiments.registry import register
@@ -19,8 +19,9 @@ class Table4Experiment(Experiment):
     experiment_id = "table4"
     title = "AS relationships verified via community semantics"
     paper_reference = "Table 4, Section 4.3 and Appendix"
+    requires = frozenset({Stage.POLICIES, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         # The paper verifies *inferred* relationships; infer them from the
         # collector's AS paths first, then check against the communities.

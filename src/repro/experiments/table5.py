@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import all_provider_reports
 from repro.experiments.registry import register
@@ -16,8 +16,9 @@ class Table5Experiment(Experiment):
     experiment_id = "table5"
     title = "Percentage of SA prefixes per provider"
     paper_reference = "Table 5, Section 5.1.2"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         reports = all_provider_reports(dataset)
         tier1 = set(dataset.tier1_ases)

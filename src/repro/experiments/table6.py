@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.export_policy import ExportPolicyAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
@@ -17,6 +17,7 @@ class Table6Experiment(Experiment):
     experiment_id = "table6"
     title = "Per-customer SA prefixes for the three studied providers"
     paper_reference = "Table 6, Section 5.1.2"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
 
     #: Minimum number of originated prefixes for a customer to be listed
     #: (the paper selects 8 customers "which originate a significant number
@@ -25,7 +26,7 @@ class Table6Experiment(Experiment):
     #: Maximum number of rows reported.
     max_rows = 8
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
         rows = analyzer.analyze_customers(

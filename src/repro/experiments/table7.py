@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.verification import Verifier
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
@@ -17,8 +17,9 @@ class Table7Experiment(Experiment):
     experiment_id = "table7"
     title = "SA prefixes verified (next-hop relationship + active customer path)"
     paper_reference = "Table 7, Section 5.1.3"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         verifier = Verifier(dataset.ground_truth_graph)
         verifications = verifier.verify_many(sa_reports(dataset), dataset.collector)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.causes import CauseAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
@@ -17,8 +17,9 @@ class Table8Experiment(Experiment):
     experiment_id = "table8"
     title = "Multihomed vs. single-homed ASes with SA prefixes"
     paper_reference = "Table 8, Section 5.1.5"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = CauseAnalyzer(dataset.ground_truth_graph)
         result.headers = ["provider", "multihomed origins", "single-homed origins", "% multihomed"]

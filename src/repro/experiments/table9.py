@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.causes import CauseAnalyzer
-from repro.data.dataset import StudyDataset
+from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
@@ -16,8 +16,9 @@ class Table9Experiment(Experiment):
     experiment_id = "table9"
     title = "SA prefixes attributable to prefix splitting and prefix aggregating"
     paper_reference = "Table 9, Section 5.1.5"
+    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
 
-    def run(self, dataset: StudyDataset) -> ExperimentResult:
+    def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
         analyzer = CauseAnalyzer(dataset.ground_truth_graph)
         tables = provider_tables(dataset)

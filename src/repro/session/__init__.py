@@ -1,0 +1,72 @@
+"""repro.session — the staged, cacheable Study API.
+
+The session layer redesigns dataset assembly around five explicit stages
+(``topology -> policies -> propagation -> observation -> irr``), each built
+lazily and cached by content-addressed keys:
+
+* :class:`Study` — the staged pipeline; ``study.with_(policy=...)`` derives
+  a variant that reuses every upstream artifact already built.
+* :mod:`repro.session.scenarios` — named presets (``standard``, ``small``,
+  ``dense-peering``, ``sparse-multihoming``, ``large``).
+* :func:`run_suite` — executes experiments (each declaring the stages it
+  ``requires``) concurrently over the shared read-only dataset and returns a
+  structured, JSON-serializable :class:`SuiteReport`.
+
+Quick tour::
+
+    from repro.session import Study, StageCache, get_scenario, run_suite
+    from repro.simulation.policies import PolicyParameters
+
+    study = get_scenario("small").study(cache=StageCache())
+    report = run_suite(study, ["table5", "table9"], workers=2)
+    print(report.render())
+
+    sweep = [study.with_(policy=PolicyParameters(seed=s)) for s in range(5)]
+    datasets = [variant.dataset() for variant in sweep]   # topology built once
+"""
+
+from repro.session.cache import GLOBAL_CACHE, StageCache, StageStats, fingerprint
+from repro.session.stages import (
+    ALL_STAGES,
+    IrrParameters,
+    ObservationArtifact,
+    ObservationParameters,
+    PolicyStageArtifact,
+    Stage,
+    StageView,
+    StudyConfig,
+)
+from repro.session.study import Study, study_from_dataset_parameters
+from repro.session.scenarios import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.session.suite import ExperimentReport, SuiteReport, run_suite
+
+__all__ = [
+    "ALL_STAGES",
+    "ExperimentReport",
+    "GLOBAL_CACHE",
+    "IrrParameters",
+    "ObservationArtifact",
+    "ObservationParameters",
+    "PolicyStageArtifact",
+    "Scenario",
+    "Stage",
+    "StageCache",
+    "StageStats",
+    "StageView",
+    "Study",
+    "StudyConfig",
+    "SuiteReport",
+    "all_scenarios",
+    "fingerprint",
+    "get_scenario",
+    "register_scenario",
+    "run_suite",
+    "scenario_names",
+    "study_from_dataset_parameters",
+]

@@ -1,0 +1,110 @@
+"""Content-addressed cache for the staged Study pipeline.
+
+Every stage of a :class:`~repro.session.study.Study` computes a *key* from
+its own parameters plus the keys of the stages it depends on, then asks the
+cache for the artifact.  Two studies that share a cache and agree on a prefix
+of the pipeline therefore share the artifacts of that prefix — a sensitivity
+sweep that varies only the policy parameters pays topology generation once.
+
+The cache records per-stage hit/miss counters so tests (and the
+``examples/policy_sweep.py`` demo) can assert the reuse actually happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def fingerprint(*parts: object) -> str:
+    """A stable content hash for a tuple of (reprs of) parameter objects.
+
+    The parts are frozen dataclasses, strings or prior stage keys; their
+    ``repr`` is deterministic field-by-field, which makes the digest a
+    content address of the whole upstream configuration.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:20]
+
+
+@dataclass
+class StageStats:
+    """Hit/miss accounting for one stage of the pipeline."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def builds(self) -> int:
+        """How many times the stage artifact was actually computed."""
+        return self.misses
+
+
+@dataclass
+class StageCache:
+    """A keyed artifact store shared by every :class:`Study` derived via ``with_``.
+
+    Thread-safe with per-key build coordination: concurrent ``get_or_build``
+    calls for the same key build the artifact once (waiters count as hits),
+    while builds for *different* keys proceed in parallel — the lock guards
+    only the bookkeeping, never a build.
+    """
+
+    _entries: dict[str, Any] = field(default_factory=dict)
+    _stats: dict[str, StageStats] = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    _inflight: dict[str, threading.Event] = field(default_factory=dict, repr=False)
+
+    def get_or_build(self, stage: str, key: str, builder: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``key``, building it on first use."""
+        while True:
+            with self._lock:
+                stats = self._stats.setdefault(stage, StageStats())
+                if key in self._entries:
+                    stats.hits += 1
+                    return self._entries[key]
+                pending = self._inflight.get(key)
+                if pending is None:
+                    self._inflight[key] = threading.Event()
+                    stats.misses += 1
+                    break  # this thread owns the build
+            # Another thread is building this key; wait and re-check (the
+            # builder may have failed, in which case the loop retries).
+            pending.wait()
+
+        try:
+            value = builder()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self._inflight.pop(key).set()
+        return value
+
+    def stats_for(self, stage: str) -> StageStats:
+        """The hit/miss counters of one stage (zeros if never touched)."""
+        with self._lock:
+            return self._stats.setdefault(stage, StageStats())
+
+    def clear(self) -> None:
+        """Drop every completed artifact and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._stats.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide default cache.  Scenario studies and the legacy
+#: ``default_dataset``/``small_dataset`` helpers share it, which replaces the
+#: two ``lru_cache`` singletons the seed API used.
+GLOBAL_CACHE = StageCache()

@@ -1,0 +1,150 @@
+"""Named scenario presets — one registration away from a new workload.
+
+A scenario is a named, documented :class:`~repro.session.stages.StudyConfig`
+factory.  The built-ins cover the configurations the repo has needed so far:
+
+* ``standard`` — the seed repo's default dataset (what the paper's tables run on).
+* ``small`` — the quick configuration used by the test suite and examples.
+* ``dense-peering`` — much denser lateral peering, stressing peer-route
+  selection and the Table 10 peer-export analyses.
+* ``sparse-multihoming`` — few multihomed stubs, suppressing the paper's
+  main cause of SA prefixes (a lower-bound scenario for Tables 5-9).
+* ``large`` — the full-size synthetic Internet of
+  :class:`~repro.topology.generator.GeneratorParameters`' defaults with an
+  Oregon-scale collector (56 peers).
+
+Register new ones with :func:`register_scenario`; the CLI
+(``python -m repro scenarios``) lists whatever is registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.exceptions import ExperimentError
+from repro.session.cache import StageCache
+from repro.session.stages import ObservationParameters, StudyConfig
+from repro.session.study import Study
+from repro.simulation.policies import PolicyParameters
+from repro.topology.generator import GeneratorParameters
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named study configuration.
+
+    Attributes:
+        name: registry identifier (``"standard"``, ``"small"``, ...).
+        description: one-line summary shown by ``python -m repro scenarios``.
+        config_factory: builds the scenario's :class:`StudyConfig`.
+    """
+
+    name: str
+    description: str
+    config_factory: Callable[[], StudyConfig]
+
+    def config(self) -> StudyConfig:
+        """The scenario's study configuration."""
+        return self.config_factory()
+
+    def study(self, *, cache: StageCache | None = None) -> Study:
+        """A :class:`Study` of this scenario (sharing the global cache by default)."""
+        return Study(self.config(), cache=cache)
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, description: str, config_factory: Callable[[], StudyConfig]
+) -> Scenario:
+    """Register a named scenario; raises on duplicates."""
+    if name in _SCENARIOS:
+        raise ExperimentError(f"duplicate scenario name: {name!r}")
+    scenario = Scenario(name=name, description=description, config_factory=config_factory)
+    _SCENARIOS[name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name.
+
+    Raises:
+        ExperimentError: for unknown names.
+    """
+    scenario = _SCENARIOS.get(name)
+    if scenario is None:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; known: {sorted(_SCENARIOS)}"
+        )
+    return scenario
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, ordered by name."""
+    return [_SCENARIOS[name] for name in sorted(_SCENARIOS)]
+
+
+def scenario_names() -> list[str]:
+    """The registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+# -- built-in presets --------------------------------------------------------------
+
+register_scenario(
+    "standard",
+    "the default study dataset the paper's tables are reproduced on (~330 ASes)",
+    StudyConfig,
+)
+
+register_scenario(
+    "small",
+    "quick ~150-AS configuration used by the test suite and examples",
+    lambda: StudyConfig(
+        topology=GeneratorParameters(
+            seed=7, tier1_count=5, tier2_count=10, tier3_count=20, stub_count=110
+        ),
+        observation=ObservationParameters(
+            looking_glass_count=8,
+            tier1_looking_glass_count=3,
+            collector_vantage_count=12,
+        ),
+    ),
+)
+
+register_scenario(
+    "dense-peering",
+    "standard topology with much denser lateral peering (stresses peer routes)",
+    lambda: StudyConfig(
+        topology=replace(
+            StudyConfig().topology,
+            tier2_peering_probability=0.8,
+            tier3_peering_probability=0.3,
+            stub_peering_probability=0.05,
+        ),
+    ),
+)
+
+register_scenario(
+    "sparse-multihoming",
+    "standard topology with rare multihoming (suppresses the main SA-prefix cause)",
+    lambda: StudyConfig(
+        topology=replace(
+            StudyConfig().topology,
+            stub_multihoming_probability=0.10,
+            max_stub_providers=2,
+        ),
+        policy=PolicyParameters(selective_announcement_probability=0.25),
+    ),
+)
+
+register_scenario(
+    "large",
+    "full-size ~1100-AS Internet with an Oregon-scale collector (56 peers)",
+    lambda: StudyConfig(
+        topology=GeneratorParameters(),
+        observation=ObservationParameters(collector_vantage_count=56),
+    ),
+)

@@ -1,0 +1,345 @@
+"""Stages of the study pipeline and the views experiments consume.
+
+The paper's methodology is a pipeline; the session API makes each step an
+explicit stage with its own frozen parameter set:
+
+``topology -> policies -> propagation -> observation -> irr``
+
+* **topology** — generate the synthetic Internet
+  (:class:`~repro.topology.generator.GeneratorParameters`).
+* **policies** — choose the vantage/Looking Glass plan and draw the per-AS
+  policy assignment (:class:`ObservationParameters` select the vantages, the
+  Looking Glass list feeds the generator's prefix-based LOCAL_PREF draw).
+* **propagation** — run the BGP propagation engine observed at the planned
+  vantage ASes.
+* **observation** — collect the RouteViews-style table, the Looking Glass
+  views and the Table 1 inventory.
+* **irr** — synthesise the IRR database (:class:`IrrParameters`).
+
+:class:`StageView` is the object an :class:`~repro.experiments.base.Experiment`
+receives: a facade over the assembled dataset that only exposes the stages
+the experiment declared in ``requires``, so stage dependencies stay honest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ExperimentError, SimulationError
+from repro.simulation.policies import PolicyAssignment, PolicyParameters
+from repro.simulation.propagation import SimulationResult
+from repro.topology.generator import GeneratorParameters, SyntheticInternet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.data.dataset import ASInfo, DatasetParameters, StudyDataset
+    from repro.data.rpsl import IrrDatabase
+    from repro.net.asn import ASN
+    from repro.simulation.collector import CollectorTable, LookingGlass
+
+
+class Stage(enum.Enum):
+    """One step of the study pipeline."""
+
+    TOPOLOGY = "topology"
+    POLICIES = "policies"
+    PROPAGATION = "propagation"
+    OBSERVATION = "observation"
+    IRR = "irr"
+
+    def __repr__(self) -> str:  # stable across sessions, used in cache keys
+        return f"Stage.{self.name}"
+
+
+#: Every stage, in pipeline order.
+ALL_STAGES: frozenset[Stage] = frozenset(Stage)
+
+
+@dataclass(frozen=True)
+class ObservationParameters:
+    """Where the synthetic measurements are taken.
+
+    Attributes:
+        looking_glass_count: number of Looking Glass ASes (the paper has 15).
+        tier1_looking_glass_count: how many of them are Tier-1s (paper: 3).
+        collector_vantage_count: number of ASes peering with the collector
+            (the paper's Oregon server peers with 56).
+        seed: seed for Looking Glass sampling and Table 1 metadata.
+    """
+
+    looking_glass_count: int = 15
+    tier1_looking_glass_count: int = 3
+    collector_vantage_count: int = 24
+    seed: int = 1118
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` on inconsistent settings."""
+        if self.tier1_looking_glass_count > self.looking_glass_count:
+            raise SimulationError(
+                "tier1_looking_glass_count cannot exceed looking_glass_count"
+            )
+        if self.collector_vantage_count < 1:
+            raise SimulationError("collector_vantage_count must be at least 1")
+
+
+@dataclass(frozen=True)
+class IrrParameters:
+    """How the synthetic IRR is populated.
+
+    Attributes:
+        registration_probability: fraction of ASes registered in the IRR.
+        stale_probability: fraction of registered objects that are stale.
+        seed: seed of the registration draw.
+    """
+
+    registration_probability: float = 0.7
+    stale_probability: float = 0.15
+    seed: int = 1118
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """The full, per-stage configuration of a study.
+
+    Every field is a frozen dataclass, so the config (and any prefix of it)
+    is hashable and can content-address the stage cache.
+    """
+
+    topology: GeneratorParameters = field(
+        default_factory=lambda: GeneratorParameters(
+            seed=2002,
+            tier1_count=6,
+            tier2_count=18,
+            tier3_count=45,
+            stub_count=260,
+        )
+    )
+    policy: PolicyParameters = field(default_factory=PolicyParameters)
+    observation: ObservationParameters = field(default_factory=ObservationParameters)
+    irr: IrrParameters = field(default_factory=IrrParameters)
+
+    def validate(self) -> None:
+        """Validate every stage's parameters."""
+        self.topology.validate()
+        self.policy.validate()
+        self.observation.validate()
+
+    # -- compatibility with the flat DatasetParameters -------------------------
+
+    @classmethod
+    def from_dataset_parameters(cls, parameters: "DatasetParameters") -> "StudyConfig":
+        """Build a staged config from the legacy flat parameter object."""
+        return cls(
+            topology=parameters.topology,
+            policy=parameters.policy,
+            observation=ObservationParameters(
+                looking_glass_count=parameters.looking_glass_count,
+                tier1_looking_glass_count=parameters.tier1_looking_glass_count,
+                collector_vantage_count=parameters.collector_vantage_count,
+                seed=parameters.seed,
+            ),
+            irr=IrrParameters(
+                registration_probability=parameters.irr_registration_probability,
+                stale_probability=parameters.irr_stale_probability,
+                seed=parameters.seed,
+            ),
+        )
+
+    def dataset_parameters(self) -> "DatasetParameters":
+        """The legacy flat view of this config (for ``StudyDataset.parameters``).
+
+        The flat form has a single ``seed`` for both the observation plan and
+        the IRR; the conversion is lossless exactly when ``irr.seed ==
+        observation.seed`` (true for every built-in scenario and for
+        :meth:`Study.seeded` derivations).  With diverging seeds the flat
+        view records the observation seed.
+        """
+        from repro.data.dataset import DatasetParameters
+
+        return DatasetParameters(
+            topology=self.topology,
+            policy=self.policy,
+            looking_glass_count=self.observation.looking_glass_count,
+            tier1_looking_glass_count=self.observation.tier1_looking_glass_count,
+            collector_vantage_count=self.observation.collector_vantage_count,
+            irr_registration_probability=self.irr.registration_probability,
+            irr_stale_probability=self.irr.stale_probability,
+            seed=self.observation.seed,
+        )
+
+
+# -- stage artifacts ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyStageArtifact:
+    """Output of the *policies* stage: the vantage plan plus the assignment.
+
+    Attributes:
+        vantage_ases: ASes peering with the RouteViews-style collector.
+        looking_glass_ases: ASes exposing a Looking Glass.
+        assignment: the per-AS policies (with ground truth).
+    """
+
+    vantage_ases: tuple["ASN", ...]
+    looking_glass_ases: tuple["ASN", ...]
+    assignment: PolicyAssignment
+
+    @property
+    def observed_ases(self) -> list["ASN"]:
+        """Every AS whose routing table the propagation must record."""
+        return sorted(set(self.vantage_ases) | set(self.looking_glass_ases))
+
+
+@dataclass(frozen=True)
+class ObservationArtifact:
+    """Output of the *observation* stage: the measurement views.
+
+    Attributes:
+        collector: the RouteViews-style collector table.
+        looking_glasses: Looking Glass views keyed by AS.
+        as_info: Table 1 style metadata per inventoried AS.
+    """
+
+    collector: "CollectorTable"
+    looking_glasses: dict["ASN", "LookingGlass"]
+    as_info: dict["ASN", "ASInfo"]
+
+
+# -- the experiment-facing view ----------------------------------------------------
+
+
+class StageView:
+    """A stage-gated facade over a :class:`~repro.data.dataset.StudyDataset`.
+
+    The view exposes the same attribute names experiments have always used
+    (``internet``, ``result``, ``collector``, ...), but accessing an
+    attribute of a stage outside ``allowed`` raises
+    :class:`~repro.exceptions.ExperimentError`.  ``run_suite`` builds one
+    view per experiment from its declared ``requires``, which keeps the
+    declared stage dependencies honest and lets independent experiments run
+    concurrently over the same read-only dataset.
+    """
+
+    __slots__ = ("_dataset", "_allowed")
+
+    def __init__(self, dataset: "StudyDataset", allowed: frozenset[Stage] = ALL_STAGES):
+        self._dataset = dataset
+        self._allowed = frozenset(allowed)
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: "StudyDataset", requires: frozenset[Stage] = ALL_STAGES
+    ) -> "StageView":
+        """Wrap an assembled dataset, exposing only the required stages."""
+        return cls(dataset, requires)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def allowed_stages(self) -> frozenset[Stage]:
+        """The stages this view exposes."""
+        return self._allowed
+
+    @property
+    def parameters(self):
+        """The dataset's (legacy, flat) parameter object; never gated."""
+        return self._dataset.parameters
+
+    @property
+    def cache_token(self) -> int:
+        """Identity of the underlying dataset, for per-dataset memo caches.
+
+        Two views over the same dataset share the token, so shared
+        intermediate products (:mod:`repro.experiments.common`) are computed
+        once per dataset, not once per experiment.
+        """
+        return id(self._dataset)
+
+    def restricted(self, requires: frozenset[Stage]) -> "StageView":
+        """A narrower view over the same dataset."""
+        return StageView(self._dataset, self._allowed & frozenset(requires))
+
+    def _need(self, stage: Stage, attribute: str):
+        if stage not in self._allowed:
+            raise ExperimentError(
+                f"stage {stage.value!r} (attribute {attribute!r}) is not in this "
+                f"experiment's declared requires: "
+                f"{sorted(s.value for s in self._allowed)}"
+            )
+
+    # -- topology --------------------------------------------------------------
+
+    @property
+    def internet(self) -> SyntheticInternet:
+        self._need(Stage.TOPOLOGY, "internet")
+        return self._dataset.internet
+
+    @property
+    def ground_truth_graph(self):
+        self._need(Stage.TOPOLOGY, "ground_truth_graph")
+        return self._dataset.ground_truth_graph
+
+    @property
+    def tier1_ases(self) -> list["ASN"]:
+        self._need(Stage.TOPOLOGY, "tier1_ases")
+        return self._dataset.tier1_ases
+
+    def providers_under_study(self, count: int = 3) -> list["ASN"]:
+        """The largest Tier-1 ASes by degree (needs the topology stage)."""
+        self._need(Stage.TOPOLOGY, "providers_under_study")
+        return self._dataset.providers_under_study(count)
+
+    # -- policies --------------------------------------------------------------
+
+    @property
+    def assignment(self) -> PolicyAssignment:
+        self._need(Stage.POLICIES, "assignment")
+        return self._dataset.assignment
+
+    # -- propagation -----------------------------------------------------------
+
+    @property
+    def result(self) -> SimulationResult:
+        self._need(Stage.PROPAGATION, "result")
+        return self._dataset.result
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def collector(self) -> "CollectorTable":
+        self._need(Stage.OBSERVATION, "collector")
+        return self._dataset.collector
+
+    @property
+    def looking_glasses(self) -> dict["ASN", "LookingGlass"]:
+        self._need(Stage.OBSERVATION, "looking_glasses")
+        return self._dataset.looking_glasses
+
+    @property
+    def vantage_ases(self) -> list["ASN"]:
+        self._need(Stage.OBSERVATION, "vantage_ases")
+        return self._dataset.vantage_ases
+
+    @property
+    def looking_glass_ases(self) -> list["ASN"]:
+        self._need(Stage.OBSERVATION, "looking_glass_ases")
+        return self._dataset.looking_glass_ases
+
+    @property
+    def as_info(self):
+        self._need(Stage.OBSERVATION, "as_info")
+        return self._dataset.as_info
+
+    def looking_glass_of(self, asn: "ASN") -> "LookingGlass":
+        """The Looking Glass view of an AS (needs the observation stage)."""
+        self._need(Stage.OBSERVATION, "looking_glass_of")
+        return self._dataset.looking_glass_of(asn)
+
+    # -- irr -------------------------------------------------------------------
+
+    @property
+    def irr(self) -> "IrrDatabase":
+        self._need(Stage.IRR, "irr")
+        return self._dataset.irr

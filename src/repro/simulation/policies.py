@@ -216,9 +216,13 @@ class ASPolicy:
         return self.local_pref.is_typical
 
 
-@dataclass
+@dataclass(frozen=True)
 class PolicyParameters:
     """Knobs of the random policy assignment.
+
+    Frozen (immutable and hashable) so a parameter set can key the
+    :mod:`repro.session` stage cache; derive variants with
+    :func:`dataclasses.replace`.
 
     Attributes:
         seed: seed for the policy generator's random source.

@@ -33,12 +33,16 @@ from repro.topology.graph import AnnotatedASGraph
 from repro.topology.hierarchy import TierClassification, classify_tiers
 
 
-@dataclass
+@dataclass(frozen=True)
 class GeneratorParameters:
     """Knobs of the synthetic Internet.
 
     The defaults produce a ~1100-AS Internet that runs the full experiment
     suite in a few seconds; the benchmark harness scales some of them up.
+
+    Instances are frozen (immutable and hashable) so they can serve as
+    content-addressed stage-cache keys in :mod:`repro.session`; derive
+    variants with :func:`dataclasses.replace`.
 
     Attributes:
         seed: seed of the pseudo-random generator.

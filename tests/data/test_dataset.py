@@ -21,6 +21,21 @@ class TestParameters:
     def test_defaults_valid(self):
         DatasetParameters().validate()
 
+    def test_parameters_are_frozen(self):
+        # build_dataset can no longer be affected by callers mutating the
+        # parameters after (or during) assembly.
+        params = DatasetParameters()
+        with pytest.raises(AttributeError):
+            params.seed = 1
+        with pytest.raises(AttributeError):
+            params.topology.stub_count = 5
+        with pytest.raises(AttributeError):
+            params.policy.seed = 2
+
+    def test_parameters_are_hashable(self):
+        assert hash(DatasetParameters()) == hash(DatasetParameters())
+        assert hash(GeneratorParameters(seed=1)) != hash(GeneratorParameters(seed=2))
+
     def test_rejects_too_many_tier1_looking_glasses(self):
         params = DatasetParameters(looking_glass_count=2, tier1_looking_glass_count=5)
         with pytest.raises(SimulationError):

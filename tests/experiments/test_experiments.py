@@ -2,15 +2,16 @@
 
 import pytest
 
-from repro.data.dataset import small_dataset
 from repro.exceptions import ExperimentError
 from repro.experiments import all_experiments, get_experiment
 from repro.experiments.common import persistence_snapshots
+from repro.experiments.registry import experiment_class
+from repro.session import StageView, get_scenario
 
 
 @pytest.fixture(scope="module")
 def dataset():
-    return small_dataset()
+    return get_scenario("small").study().dataset()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -59,13 +60,28 @@ class TestRegistry:
 
 
 class TestEveryExperimentRuns:
+    @pytest.fixture(autouse=True)
+    def _isolated_common_caches(self):
+        # The shared memo caches are filled through whichever view computes a
+        # product first; clearing them per case makes every experiment reach
+        # the dataset through its own restricted view, so the requires
+        # declaration is genuinely exercised (not satisfied by a cache hit).
+        from repro.experiments import common
+
+        common._sa_cache.clear()
+        common._table_cache.clear()
+        yield
+
     @pytest.mark.parametrize(
         "experiment_id",
         [e.experiment_id for e in all_experiments()],
     )
     def test_runs_and_renders(self, dataset, experiment_id):
-        experiment = get_experiment(experiment_id)
-        result = experiment.run(dataset)
+        # Run through a view restricted to the declared requires, proving the
+        # declaration is sufficient for the experiment's whole analysis.
+        cls = experiment_class(experiment_id)
+        experiment = cls()
+        result = experiment.run(StageView(dataset, cls.requires))
         assert result.experiment_id == experiment_id
         assert result.headers
         assert result.rows, f"{experiment_id} produced no rows"

@@ -5,8 +5,14 @@ import pytest
 from repro.exceptions import ExperimentError
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables, sa_reports
-from repro.experiments.registry import all_experiments, register
+from repro.experiments.registry import (
+    all_experiments,
+    experiment_class,
+    get_experiment,
+    register,
+)
 from repro.data.dataset import small_dataset
+from repro.session import ALL_STAGES, StageView
 
 
 class TestExperimentResult:
@@ -54,6 +60,18 @@ class TestRegistry:
         identifiers = [experiment.experiment_id for experiment in all_experiments()]
         assert identifiers == sorted(identifiers)
 
+    def test_registry_stores_classes_not_instances(self):
+        cls = experiment_class("table5")
+        assert isinstance(cls, type) and issubclass(cls, Experiment)
+
+    def test_get_experiment_instantiates_per_call(self):
+        assert get_experiment("table5") is not get_experiment("table5")
+
+    def test_every_experiment_declares_requires(self):
+        for experiment in all_experiments():
+            assert isinstance(experiment.requires, frozenset)
+            assert experiment.requires <= ALL_STAGES
+
 
 class TestCommonCaches:
     def test_provider_tables_cached_per_dataset(self):
@@ -69,3 +87,10 @@ class TestCommonCaches:
         second = sa_reports(dataset)
         assert first is second
         assert set(first) == set(provider_tables(dataset))
+
+    def test_stage_views_share_the_dataset_cache(self):
+        dataset = small_dataset()
+        one = provider_tables(StageView(dataset, ALL_STAGES))
+        other = provider_tables(StageView(dataset, ALL_STAGES))
+        assert one is other
+        assert one is provider_tables(dataset)

@@ -1,0 +1,106 @@
+"""Tests for the content-addressed stage cache."""
+
+from repro.session import StageCache, fingerprint
+from repro.topology.generator import GeneratorParameters
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        params = GeneratorParameters(seed=1)
+        assert fingerprint("topology", params) == fingerprint("topology", params)
+
+    def test_distinguishes_parameters(self):
+        assert fingerprint("topology", GeneratorParameters(seed=1)) != fingerprint(
+            "topology", GeneratorParameters(seed=2)
+        )
+
+    def test_distinguishes_stage_names(self):
+        params = GeneratorParameters()
+        assert fingerprint("topology", params) != fingerprint("policies", params)
+
+
+class TestStageCache:
+    def test_miss_then_hit(self):
+        cache = StageCache()
+        built = []
+
+        def builder():
+            built.append(1)
+            return "artifact"
+
+        assert cache.get_or_build("topology", "k1", builder) == "artifact"
+        assert cache.get_or_build("topology", "k1", builder) == "artifact"
+        assert built == [1]
+        stats = cache.stats_for("topology")
+        assert (stats.misses, stats.hits, stats.builds) == (1, 1, 1)
+
+    def test_distinct_keys_build_separately(self):
+        cache = StageCache()
+        assert cache.get_or_build("s", "a", lambda: 1) == 1
+        assert cache.get_or_build("s", "b", lambda: 2) == 2
+        assert len(cache) == 2
+        assert cache.stats_for("s").misses == 2
+
+    def test_per_stage_stats(self):
+        cache = StageCache()
+        cache.get_or_build("topology", "k", lambda: 1)
+        cache.get_or_build("policies", "k2", lambda: 2)
+        assert cache.stats_for("topology").misses == 1
+        assert cache.stats_for("policies").misses == 1
+        assert cache.stats_for("never-touched").misses == 0
+
+    def test_concurrent_same_key_builds_once(self):
+        import threading
+
+        cache = StageCache()
+        built = []
+        release = threading.Event()
+
+        def slow_builder():
+            release.wait(timeout=5)
+            built.append(1)
+            return "artifact"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_build("s", "k", slow_builder)
+                )
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert results == ["artifact"] * 4
+        assert built == [1]
+        stats = cache.stats_for("s")
+        assert (stats.misses, stats.hits) == (1, 3)
+
+    def test_failed_build_retried_by_waiters(self):
+        cache = StageCache()
+        attempts = []
+
+        def flaky_builder():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first build fails")
+            return "artifact"
+
+        import pytest as _pytest
+
+        with _pytest.raises(RuntimeError):
+            cache.get_or_build("s", "k", flaky_builder)
+        assert cache.get_or_build("s", "k", flaky_builder) == "artifact"
+        assert len(attempts) == 2
+
+    def test_clear_resets_everything(self):
+        cache = StageCache()
+        cache.get_or_build("s", "k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats_for("s").misses == 0

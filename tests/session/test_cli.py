@@ -1,0 +1,104 @@
+"""CLI tests, including the golden JSON-schema check for `repro run --json`."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.__main__ import main as legacy_main
+from repro.experiments.registry import experiment_ids
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert cli_main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestGoldenJson:
+    """`python -m repro run table5 --scenario small --json` is schema-stable."""
+
+    @pytest.fixture
+    def payload(self, capsys):
+        # Cheap to rerun: the small scenario's stages sit in the global cache.
+        out = run_cli(capsys, "run", "table5", "--scenario", "small", "--json")
+        return json.loads(out)
+
+    def test_top_level_schema(self, payload):
+        assert list(payload) == ["scenario", "experiments", "workers", "total_seconds"]
+        assert payload["scenario"] == "small"
+        assert payload["workers"] == 1
+
+    def test_experiment_schema(self, payload):
+        (entry,) = payload["experiments"]
+        for key in ("experiment_id", "headers", "rows", "notes", "timing"):
+            assert key in entry, key
+        assert entry["experiment_id"] == "table5"
+        assert entry["headers"][0] == "provider"
+        assert entry["rows"], "table5 produced no rows"
+        assert all(isinstance(note, str) for note in entry["notes"])
+        assert isinstance(entry["timing"], float)
+
+
+class TestCommands:
+    def test_list_covers_every_registered_experiment(self, capsys):
+        out = run_cli(capsys, "list")
+        for identifier in experiment_ids():
+            assert identifier in out
+
+    def test_scenarios_lists_presets(self, capsys):
+        out = run_cli(capsys, "scenarios")
+        for name in ("standard", "small", "dense-peering", "sparse-multihoming", "large"):
+            assert name in out
+
+    def test_run_renders_ascii_tables(self, capsys):
+        out = run_cli(capsys, "run", "table1", "--scenario", "small")
+        assert "table1" in out
+        assert "+-" in out
+
+    def test_run_with_seed_changes_the_data(self, capsys):
+        baseline = run_cli(capsys, "run", "table5", "--scenario", "small", "--json")
+        reseeded = run_cli(
+            capsys, "run", "table5", "--scenario", "small", "--seed", "97", "--json"
+        )
+        assert json.loads(baseline)["experiments"][0]["rows"] != (
+            json.loads(reseeded)["experiments"][0]["rows"]
+        )
+
+    def test_run_writes_output_dir(self, capsys, tmp_path):
+        run_cli(
+            capsys, "run", "table1", "--scenario", "small", "--json",
+            "--output-dir", str(tmp_path),
+        )
+        assert (tmp_path / "table1.txt").exists()
+        suite = json.loads((tmp_path / "suite.json").read_text())
+        assert suite["experiments"][0]["experiment_id"] == "table1"
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert cli_main(["run", "table1", "--scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown scenario")
+        assert "standard" in err  # the message names the known presets
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert cli_main(["run", "table99", "--scenario", "small"]) == 2
+        assert capsys.readouterr().err.startswith("error: unknown experiment")
+
+    def test_run_parallel_workers(self, capsys):
+        out = run_cli(
+            capsys, "run", "table1", "table5", "--scenario", "small",
+            "--workers", "2", "--json",
+        )
+        assert json.loads(out)["workers"] == 2
+
+
+class TestLegacyShim:
+    def test_list_flag(self, capsys):
+        assert legacy_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+
+    def test_small_run(self, capsys):
+        assert legacy_main(["table1", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "+-" in out
