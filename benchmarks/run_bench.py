@@ -1,0 +1,197 @@
+"""Propagation-engine benchmark: engine × scenario × workers → JSON.
+
+Times the legacy and fast propagation engines over the registered scenario
+presets and writes a machine-readable report (default:
+``BENCH_propagation.json`` at the repository root) so perf changes are
+recorded in-repo and visible per-PR via the CI smoke job.
+
+Usage::
+
+    python benchmarks/run_bench.py                       # small + standard
+    python benchmarks/run_bench.py --scenario standard --workers 1 2 4
+    python benchmarks/run_bench.py --scenario small --quick
+    python benchmarks/run_bench.py --full                # adds the large scenario
+
+The fast engine's wall time includes topology compilation (reported
+separately as ``compile_seconds``) so the speedup numbers are end-to-end
+honest.  Every timed run's message count is cross-checked against the
+legacy engine's — a benchmark that drifts from the golden behaviour fails
+loudly instead of reporting a meaningless speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.session.cache import StageCache  # noqa: E402
+from repro.session.scenarios import get_scenario  # noqa: E402
+from repro.simulation.fastpath import FastPropagationEngine, compile_topology  # noqa: E402
+from repro.simulation.propagation import PropagationEngine  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_propagation.json"
+
+
+def _time_legacy(internet, plan, repeats: int) -> tuple[float, int]:
+    best = None
+    messages = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = PropagationEngine(
+            internet, plan.assignment, observed_ases=plan.observed_ases
+        ).run()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+        messages = result.message_count
+    return best, messages
+
+
+def _time_fast(internet, plan, workers: int, repeats: int) -> tuple[float, float, int]:
+    best = None
+    best_compile = None
+    messages = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        compiled = compile_topology(internet, plan.assignment, plan.observed_ases)
+        compile_seconds = time.perf_counter() - started
+        engine = FastPropagationEngine(
+            internet,
+            plan.assignment,
+            observed_ases=plan.observed_ases,
+            workers=workers,
+            compiled=compiled,
+        )
+        result = engine.run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+            best_compile = compile_seconds
+        messages = result.message_count
+    return best, best_compile, messages
+
+
+def run_benchmarks(
+    scenarios: list[str], workers: list[int], repeats: int
+) -> list[dict]:
+    results = []
+    for name in scenarios:
+        study = get_scenario(name).study(cache=StageCache())
+        internet = study.topology()
+        plan = study.policies()
+        print(f"[{name}] timing legacy engine ...", file=sys.stderr)
+        legacy_seconds, legacy_messages = _time_legacy(internet, plan, repeats)
+        results.append(
+            {
+                "scenario": name,
+                "engine": "legacy",
+                "workers": 1,
+                "seconds": round(legacy_seconds, 4),
+                "compile_seconds": 0.0,
+                "messages": legacy_messages,
+                "speedup_vs_legacy": 1.0,
+            }
+        )
+        print(
+            f"[{name}] legacy: {legacy_seconds:.2f}s ({legacy_messages} messages)",
+            file=sys.stderr,
+        )
+        for worker_count in workers:
+            print(
+                f"[{name}] timing fast engine (workers={worker_count}) ...",
+                file=sys.stderr,
+            )
+            fast_seconds, compile_seconds, fast_messages = _time_fast(
+                internet, plan, worker_count, repeats
+            )
+            if fast_messages != legacy_messages:
+                raise SystemExit(
+                    f"engine divergence on {name!r}: legacy processed "
+                    f"{legacy_messages} messages, fast {fast_messages}"
+                )
+            results.append(
+                {
+                    "scenario": name,
+                    "engine": "fast",
+                    "workers": worker_count,
+                    "seconds": round(fast_seconds, 4),
+                    "compile_seconds": round(compile_seconds, 4),
+                    "messages": fast_messages,
+                    "speedup_vs_legacy": round(legacy_seconds / fast_seconds, 2),
+                }
+            )
+            print(
+                f"[{name}] fast(workers={worker_count}): {fast_seconds:.2f}s "
+                f"({legacy_seconds / fast_seconds:.2f}x)",
+                file=sys.stderr,
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="scenario preset to benchmark (repeatable; default: small, standard)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1],
+        help="fast-engine worker counts to benchmark (default: 1)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="repetitions per cell, best kept"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: force a single repeat of the given scenarios",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="benchmark small, standard and large (overrides --scenario)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = args.scenarios or ["small", "standard"]
+    if args.full:
+        scenarios = ["small", "standard", "large"]
+    repeats = 1 if args.quick else max(1, args.repeats)
+
+    results = run_benchmarks(scenarios, args.workers, repeats)
+    report = {
+        "meta": {
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "repeats": repeats,
+            "quick": args.quick,
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

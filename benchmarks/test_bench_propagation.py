@@ -1,0 +1,53 @@
+"""Benchmark: propagation engines on the small scenario.
+
+The interesting numbers for the standard and large scenarios live in
+``BENCH_propagation.json`` (regenerate with ``python benchmarks/run_bench.py``);
+this pytest-benchmark pairing keeps a cheap engine-vs-engine comparison in
+the default benchmark run and cross-checks that the timed fast run stays
+message-for-message identical to the legacy engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session.cache import StageCache
+from repro.session.scenarios import get_scenario
+from repro.simulation.fastpath import FastPropagationEngine
+from repro.simulation.propagation import PropagationEngine
+
+
+@pytest.fixture(scope="module")
+def small_inputs():
+    study = get_scenario("small").study(cache=StageCache())
+    return study.topology(), study.policies()
+
+
+def test_bench_propagation_legacy_small(benchmark, small_inputs):
+    internet, plan = small_inputs
+    result = benchmark.pedantic(
+        lambda: PropagationEngine(
+            internet, plan.assignment, observed_ases=plan.observed_ases
+        ).run(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.message_count > 0
+
+
+def test_bench_propagation_fast_small(benchmark, small_inputs):
+    internet, plan = small_inputs
+    legacy = PropagationEngine(
+        internet, plan.assignment, observed_ases=plan.observed_ases
+    ).run()
+    result = benchmark.pedantic(
+        lambda: FastPropagationEngine(
+            internet, plan.assignment, observed_ases=plan.observed_ases
+        ).run(),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.message_count == legacy.message_count
+    assert result.truncated_prefixes == legacy.truncated_prefixes

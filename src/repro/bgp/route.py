@@ -129,6 +129,18 @@ class Route:
         """``True`` for locally originated routes."""
         return self.source is RouteSource.LOCAL
 
+    @property
+    def export_signature(self) -> tuple:
+        """The attributes a neighbor can observe about this route.
+
+        Two best routes with equal signatures are indistinguishable on the
+        wire, so replacing one with the other requires no re-announcement.
+        The signature covers AS_PATH, communities, LOCAL_PREF, MED and ORIGIN
+        — every attribute that either propagates to the neighbor or feeds the
+        local decision process at the same step for both routes.
+        """
+        return (self.as_path, self.communities, self.local_pref, self.med, self.origin)
+
     # -- derivation ----------------------------------------------------------
 
     def replace(self, **changes: Any) -> "Route":

@@ -6,6 +6,8 @@ Usage::
     python -m repro run table5 fig2 --scenario small
     python -m repro run --scenario large --workers 4 --json
     python -m repro run table5 --seed 42 --output-dir out/
+    python -m repro run --engine legacy          # original propagation engine
+    python -m repro run --propagation-workers 4  # shard prefix propagation
     python -m repro list                         # experiment ids + required stages
     python -m repro scenarios                    # scenario presets
 
@@ -21,6 +23,7 @@ import sys
 
 from repro.exceptions import ReproError
 from repro.session.scenarios import all_scenarios, get_scenario
+from repro.session.stages import PropagationSettings
 from repro.session.suite import SuiteReport, run_suite
 
 
@@ -56,6 +59,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for independent experiments (default: 1)",
     )
     run.add_argument(
+        "--engine",
+        choices=("fast", "legacy"),
+        default="fast",
+        help="propagation engine: the compiled fast engine (default) or the "
+        "legacy message-object engine (both produce identical results)",
+    )
+    run.add_argument(
+        "--propagation-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard prefix propagation over N worker processes (fast engine "
+        "only; default: 1)",
+    )
+    run.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -74,7 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    study = get_scenario(args.scenario).study()
+    settings = PropagationSettings(
+        engine=args.engine, workers=args.propagation_workers
+    )
+    settings.validate()
+    study = get_scenario(args.scenario).study(propagation=settings)
     if args.seed is not None:
         study = study.seeded(args.seed)
     report = run_suite(

@@ -55,8 +55,11 @@ class PrefixTrie(Generic[ValueT]):
     def insert(self, prefix: Prefix, value: ValueT) -> None:
         """Insert or replace the value stored for ``prefix``."""
         node = self._root
-        for position in range(prefix.length):
-            bit = _bit_at(prefix.network, position)
+        network = prefix.network
+        shift = IPV4_BITS
+        for _ in range(prefix.length):
+            shift -= 1
+            bit = (network >> shift) & 1
             child = node.children[bit]
             if child is None:
                 child = _Node()
@@ -66,6 +69,30 @@ class PrefixTrie(Generic[ValueT]):
             self._size += 1
         node.value = value
         node.prefix = prefix
+
+    def insert_if_absent(self, prefix: Prefix, value: ValueT) -> ValueT:
+        """Store ``value`` for ``prefix`` unless one exists; return the stored value.
+
+        A single-walk combination of :meth:`get` and :meth:`insert` for bulk
+        loaders that mostly insert fresh prefixes.
+        """
+        node = self._root
+        network = prefix.network
+        shift = IPV4_BITS
+        for _ in range(prefix.length):
+            shift -= 1
+            bit = (network >> shift) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.has_value:
+            return node.value
+        node.value = value
+        node.prefix = prefix
+        self._size += 1
+        return value
 
     def remove(self, prefix: Prefix) -> None:
         """Remove ``prefix`` from the trie.
@@ -194,9 +221,11 @@ class PrefixTrie(Generic[ValueT]):
 
     def _find_exact(self, prefix: Prefix) -> _Node | None:
         node = self._root
-        for position in range(prefix.length):
-            bit = _bit_at(prefix.network, position)
-            child = node.children[bit]
+        network = prefix.network
+        shift = IPV4_BITS
+        for _ in range(prefix.length):
+            shift -= 1
+            child = node.children[(network >> shift) & 1]
             if child is None:
                 return None
             node = child

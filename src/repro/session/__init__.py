@@ -32,6 +32,7 @@ from repro.session.stages import (
     ObservationArtifact,
     ObservationParameters,
     PolicyStageArtifact,
+    PropagationSettings,
     Stage,
     StageView,
     StudyConfig,
@@ -54,6 +55,7 @@ __all__ = [
     "ObservationArtifact",
     "ObservationParameters",
     "PolicyStageArtifact",
+    "PropagationSettings",
     "Scenario",
     "Stage",
     "StageCache",

@@ -24,7 +24,7 @@ from typing import Callable
 
 from repro.exceptions import ExperimentError
 from repro.session.cache import StageCache
-from repro.session.stages import ObservationParameters, StudyConfig
+from repro.session.stages import ObservationParameters, PropagationSettings, StudyConfig
 from repro.session.study import Study
 from repro.simulation.policies import PolicyParameters
 from repro.topology.generator import GeneratorParameters
@@ -48,9 +48,18 @@ class Scenario:
         """The scenario's study configuration."""
         return self.config_factory()
 
-    def study(self, *, cache: StageCache | None = None) -> Study:
-        """A :class:`Study` of this scenario (sharing the global cache by default)."""
-        return Study(self.config(), cache=cache)
+    def study(
+        self,
+        *,
+        cache: StageCache | None = None,
+        propagation: PropagationSettings | None = None,
+    ) -> Study:
+        """A :class:`Study` of this scenario (sharing the global cache by default).
+
+        ``propagation`` selects the propagation engine and worker count (the
+        fast engine with one worker when omitted).
+        """
+        return Study(self.config(), cache=cache, propagation=propagation)
 
 
 _SCENARIOS: dict[str, Scenario] = {}

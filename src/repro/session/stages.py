@@ -84,6 +84,38 @@ class ObservationParameters:
 
 
 @dataclass(frozen=True)
+class PropagationSettings:
+    """*How* the propagation stage executes (not *what* it computes).
+
+    The fast and legacy engines produce identical
+    :class:`~repro.simulation.propagation.SimulationResult` artifacts
+    (asserted by the fastpath equivalence suite), and the worker count never
+    changes the merged result — so these settings select an execution
+    strategy.  Only the engine name participates in the stage cache key
+    (keeping an explicit ``--engine legacy`` run honest about what it built);
+    the worker count is excluded.
+
+    Attributes:
+        engine: ``"fast"`` (the compiled-topology engine, the default) or
+            ``"legacy"`` (the original message-object engine).
+        workers: per-prefix fan-out width of the fast engine; ``1`` runs
+            in-process, ``N > 1`` shards prefixes over a process pool.
+    """
+
+    engine: str = "fast"
+    workers: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` on unknown engines or bad workers."""
+        if self.engine not in ("fast", "legacy"):
+            raise SimulationError(
+                f"unknown propagation engine {self.engine!r}; known: fast, legacy"
+            )
+        if self.workers < 1:
+            raise SimulationError(f"propagation workers must be >= 1, got {self.workers}")
+
+
+@dataclass(frozen=True)
 class IrrParameters:
     """How the synthetic IRR is populated.
 

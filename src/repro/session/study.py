@@ -32,11 +32,13 @@ from repro.session.stages import (
     ObservationArtifact,
     ObservationParameters,
     PolicyStageArtifact,
+    PropagationSettings,
     Stage,
     StageView,
     StudyConfig,
 )
 from repro.simulation.collector import LookingGlass, RouteViewsCollector
+from repro.simulation.fastpath import FastPropagationEngine
 from repro.simulation.policies import PolicyGenerator, PolicyParameters
 from repro.simulation.propagation import PropagationEngine, SimulationResult
 from repro.topology.generator import GeneratorParameters, InternetGenerator, SyntheticInternet
@@ -54,12 +56,22 @@ class Study:
         cache: the stage cache to build into.  Defaults to the process-wide
             cache so scenario studies and the legacy dataset helpers share
             artifacts; pass a fresh :class:`StageCache` for isolation.
+        propagation: execution settings of the propagation stage (engine
+            choice + worker count); defaults to the fast engine, one worker.
     """
 
-    def __init__(self, config: StudyConfig | None = None, *, cache: StageCache | None = None):
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        *,
+        cache: StageCache | None = None,
+        propagation: PropagationSettings | None = None,
+    ):
         self.config = config or StudyConfig()
         self.config.validate()
         self.cache = cache if cache is not None else GLOBAL_CACHE
+        self.propagation_settings = propagation or PropagationSettings()
+        self.propagation_settings.validate()
 
     # -- derivation ------------------------------------------------------------
 
@@ -86,7 +98,11 @@ class Study:
             )
             if value is not None
         }
-        return Study(replace(self.config, **overrides), cache=self.cache)
+        return Study(
+            replace(self.config, **overrides),
+            cache=self.cache,
+            propagation=self.propagation_settings,
+        )
 
     def seeded(self, seed: int) -> "Study":
         """A study whose every stage seed derives deterministically from ``seed``.
@@ -102,7 +118,7 @@ class Study:
             observation=replace(self.config.observation, seed=seed + 2),
             irr=replace(self.config.irr, seed=seed + 2),
         )
-        return Study(config, cache=self.cache)
+        return Study(config, cache=self.cache, propagation=self.propagation_settings)
 
     # -- stage keys ------------------------------------------------------------
 
@@ -119,7 +135,14 @@ class Study:
                 config.policy,
             )
         if stage is Stage.PROPAGATION:
-            return fingerprint(Stage.PROPAGATION, self.stage_key(Stage.POLICIES))
+            # The engine name is part of the key so an explicit legacy run
+            # really builds with the legacy engine; the worker count is not
+            # (sharding never changes the merged artifact).
+            return fingerprint(
+                Stage.PROPAGATION,
+                self.stage_key(Stage.POLICIES),
+                self.propagation_settings.engine,
+            )
         if stage is Stage.OBSERVATION:
             return fingerprint(
                 Stage.OBSERVATION, self.stage_key(Stage.PROPAGATION), config.observation
@@ -182,13 +205,27 @@ class Study:
         )
 
     def propagation(self) -> SimulationResult:
-        """The propagation run observed at the planned vantage ASes (stage 3)."""
+        """The propagation run observed at the planned vantage ASes (stage 3).
+
+        Executed by the engine selected in :class:`PropagationSettings` —
+        the compiled fast engine by default, with optional per-prefix
+        process-pool fan-out (``workers``).
+        """
 
         def build() -> SimulationResult:
             plan = self.policies()
-            engine = PropagationEngine(
-                self.topology(), plan.assignment, observed_ases=plan.observed_ases
-            )
+            settings = self.propagation_settings
+            if settings.engine == "legacy":
+                engine = PropagationEngine(
+                    self.topology(), plan.assignment, observed_ases=plan.observed_ases
+                )
+            else:
+                engine = FastPropagationEngine(
+                    self.topology(),
+                    plan.assignment,
+                    observed_ases=plan.observed_ases,
+                    workers=settings.workers,
+                )
             return engine.run()
 
         return self._build(Stage.PROPAGATION, build)

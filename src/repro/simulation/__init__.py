@@ -12,6 +12,10 @@ observed at collector and Looking Glass vantage points.
 * :mod:`repro.simulation.propagation` — the message-passing propagation
   engine implementing the decision process and the Gao–Rexford export rules
   plus the configured policies.
+* :mod:`repro.simulation.fastpath` — the compiled fast propagation core
+  (interned flat-graph engine, incremental best-route selection, parallel
+  per-prefix fan-out); the default engine behind the session layer,
+  producing results identical to the legacy engine.
 * :mod:`repro.simulation.collector` — RouteViews-style collectors and
   Looking Glass views (including multi-router views of one AS).
 * :mod:`repro.simulation.timeline` — repeated simulation under policy churn,
@@ -27,7 +31,12 @@ from repro.simulation.policies import (
     PolicyGenerator,
     PolicyParameters,
 )
-from repro.simulation.propagation import PropagationEngine, SimulationResult
+from repro.simulation.propagation import PrefixRun, PropagationEngine, SimulationResult
+from repro.simulation.fastpath import (
+    CompiledTopology,
+    FastPropagationEngine,
+    compile_topology,
+)
 from repro.simulation.collector import CollectorTable, LookingGlass, RouteViewsCollector
 from repro.simulation.timeline import Snapshot, Timeline, TimelineParameters
 from repro.simulation.scenario import (
@@ -42,13 +51,17 @@ __all__ = [
     "ASPolicy",
     "CollectorTable",
     "CommunityPlan",
+    "CompiledTopology",
+    "FastPropagationEngine",
     "LocalPrefScheme",
     "LookingGlass",
     "PolicyGenerator",
     "PolicyParameters",
+    "PrefixRun",
     "PropagationEngine",
     "RouteViewsCollector",
     "SimulationResult",
+    "compile_topology",
     "Snapshot",
     "Timeline",
     "TimelineParameters",

@@ -1,0 +1,716 @@
+"""The interned flat-graph propagation engine.
+
+:class:`FastPropagationEngine` replays the legacy engine's message-passing
+algorithm — same FIFO schedule, same export rules, same budget accounting —
+over the arrays of a :class:`~repro.simulation.fastpath.compile.CompiledTopology`.
+Four things make it fast:
+
+* **No per-message object churn.**  AS paths and community sets are interned
+  (a path/set is a small integer id; prepends and tag-adds are memo-table
+  hits after first use), candidates are plain tuples, and the per-edge
+  policy/relationship work of the legacy engine is a couple of array reads
+  off a precompiled receiver-side edge slot.
+* **Grouped fan-out.**  The legacy engine enqueues one message object per
+  (sender, receiver) pair.  Exports fan the same wire route out to many
+  neighbors, so the queue holds one *group* per export — the pre-sorted
+  target tuple plus the interned route — and receivers are expanded at pop
+  time.  The flattened schedule (and the message budget accounting) is
+  identical; the allocation count is not.
+* **Incremental best-route selection.**  The legacy engine re-scans every
+  candidate on every message.  Within one AS's candidate set every route
+  comes from a distinct next-hop AS, so MED never compares, IGP metric and
+  router id are constant, and the decision process collapses to the total
+  order ``(-LOCAL_PREF, path length, insertion sequence)`` — the insertion
+  sequence reproduces the legacy tie-break "the incumbent wins a complete
+  tie" exactly.  A new announcement therefore challenges the incumbent in
+  O(1); a full re-scan happens only when the incumbent itself is displaced
+  or withdrawn.
+* **Parallel per-prefix fan-out.**  Prefixes propagate independently, so the
+  originated-prefix list is sharded across a ``ProcessPoolExecutor``; each
+  worker receives the pickled compiled topology once, and per-shard observed
+  tables, message counts and truncated prefixes are merged back in original
+  task order, keeping the result bit-identical to a serial run.
+
+The ORIGIN attribute is constant (``originate`` always emits ``Origin.IGP``
+and no policy knob rewrites it), so it is excluded from the decision key and
+the re-announcement signature; the legacy engine relies on the same
+invariant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bgp.attributes import DEFAULT_LOCAL_PREF, Community, CommunitySet, Origin
+from repro.bgp.decision import DecisionProcess
+from repro.bgp.rib import LocRib
+from repro.bgp.route import NeighborKind, Route, RouteSource
+from repro.exceptions import SimulationError
+from repro.net.asn import ASN
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.simulation.fastpath.compile import (
+    KIND_LOCAL,
+    REL_CUSTOMER,
+    REL_PEER,
+    REL_PROVIDER,
+    REL_SIBLING,
+    CompiledTopology,
+    SeedPlan,
+    compile_seed_plan,
+    compile_topology,
+)
+from repro.simulation.policies import PolicyAssignment
+from repro.simulation.propagation import PrefixRun, PrefixState, SimulationResult
+from repro.topology.generator import SyntheticInternet
+
+_KIND_TO_NEIGHBOR_KIND = {
+    REL_CUSTOMER: NeighborKind.CUSTOMER,
+    REL_PEER: NeighborKind.PEER,
+    REL_PROVIDER: NeighborKind.PROVIDER,
+    REL_SIBLING: NeighborKind.SIBLING,
+}
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+_SET_FIELD = object.__setattr__
+
+# Candidate tuple layout: (local_pref, path_len, path_id, comm_id, kind, seq).
+_LP, _PLEN, _PATH, _COMM, _KIND, _SEQ = range(6)
+
+
+class _State:
+    """Per-AS state for the prefix currently being propagated (fast form).
+
+    States live in a per-core slot array and are recycled between prefixes:
+    a state whose ``gen`` stamp is stale is logically absent and is reset
+    lazily on first touch, so steady-state propagation allocates nothing.
+    """
+
+    __slots__ = (
+        "cand", "best", "best_sender", "bk0", "bk1", "bk2",
+        "announced", "counter", "gen",
+    )
+
+    def __init__(self, gen: int) -> None:
+        self.cand: dict[int, tuple] = {}
+        self.best: tuple | None = None
+        self.best_sender: int | None = None
+        # The incumbent's decision key (-local_pref, path_len, seq), held as
+        # three scalars so the per-message challenge needs no tuple.  Only
+        # meaningful while ``best_sender`` is not None.
+        self.bk0 = 0
+        self.bk1 = 0
+        self.bk2 = 0
+        # Neighbors currently holding this AS's announcement; a frozenset
+        # shared with the export-target memo (exports replace it wholesale).
+        self.announced: frozenset[int] = _EMPTY_SET
+        self.counter = 0
+        self.gen = gen
+
+    def reset(self, gen: int) -> None:
+        self.cand.clear()
+        self.best = None
+        self.best_sender = None
+        self.announced = _EMPTY_SET
+        self.counter = 0
+        self.gen = gen
+
+
+class _Core:
+    """Single-process propagation over a compiled topology.
+
+    Holds the per-process intern tables (paths, community sets, export
+    target memos) and the recycled state slots; one core serves every prefix
+    of a run, so interned structure is shared across prefixes.
+    """
+
+    def __init__(self, topology: CompiledTopology, message_budget: int) -> None:
+        self.topology = topology
+        self.message_budget = message_budget
+        # Recycled per-AS state slots, validated by generation stamp.
+        self._states: list[_State | None] = [None] * topology.as_count
+        self._generation = 0
+        # Path interning: id -> tuple of dense AS ids (receiver-first).
+        self._paths: list[tuple[int, ...]] = []
+        self._path_index: dict[tuple[int, ...], int] = {}
+        self._plen: list[int] = []
+        self._prepend_memo: dict[tuple[int, int], int] = {}
+        # Community-set interning, seeded from the compiled table.  The run
+        # representation of a set is a frozenset of (asn, value) int pairs —
+        # value-deduplicated so id equality is set equality — and the real
+        # CommunitySet is materialized lazily, only for observed routes.
+        self._comm_members: list[frozenset[tuple[int, int]]] = []
+        self._comm_lookup: dict[frozenset[tuple[int, int]], int] = {}
+        self._comm_cs: list[CommunitySet | None] = []
+        for communities in topology.comm_table:
+            pairs = frozenset((c.asn, c.value) for c in communities.communities)
+            self._comm_lookup[pairs] = len(self._comm_members)
+            self._comm_members.append(pairs)
+            self._comm_cs.append(communities)
+        self._tag_pairs = [(t.asn, t.value) for t in topology.tag_communities]
+        # Per-tag memo of comm_id -> comm_id-with-tag (int keys, no tuples).
+        self._comm_tag_memos: list[dict[int, int]] = [
+            {} for _ in topology.tag_communities
+        ]
+        # Export target memo: (as, class, excluded next hop) -> (pairs, set).
+        self._target_memo: dict[tuple[int, bool, int], tuple[tuple, frozenset]] = {}
+        # Materialization memo: path id -> ASPath.
+        self._aspath_memo: dict[int, ASPath] = {}
+        # Aliases for the export path (one attribute hop instead of two).
+        self._exp_local = topology.exp_local
+        self._exp_local_set = topology.exp_local_set
+        self._exp_customer = topology.exp_customer
+        self._exp_down = topology.exp_down
+        self._honor_scoped = topology.honor_scoped
+        self._scoped_marker = topology.scoped_marker
+
+    # -- interning ----------------------------------------------------------
+
+    def _intern_path(self, path: tuple[int, ...]) -> int:
+        path_id = self._path_index.get(path)
+        if path_id is None:
+            path_id = len(self._paths)
+            self._paths.append(path)
+            self._plen.append(len(path))
+            self._path_index[path] = path_id
+        return path_id
+
+    def _prepend(self, path_id: int, asn_idx: int) -> int:
+        key = (path_id, asn_idx)
+        new_id = self._prepend_memo.get(key)
+        if new_id is None:
+            new_id = self._intern_path((asn_idx,) + self._paths[path_id])
+            self._prepend_memo[key] = new_id
+        return new_id
+
+    def intern_communities(self, communities: CommunitySet) -> int:
+        """Intern a :class:`CommunitySet`, extending the run table."""
+        pairs = frozenset((c.asn, c.value) for c in communities.communities)
+        comm_id = self._comm_lookup.get(pairs)
+        if comm_id is None:
+            comm_id = len(self._comm_members)
+            self._comm_lookup[pairs] = comm_id
+            self._comm_members.append(pairs)
+            self._comm_cs.append(communities)
+        return comm_id
+
+    def _comm_add(self, comm_id: int, tag_id: int) -> int:
+        members = self._comm_members[comm_id] | {self._tag_pairs[tag_id]}
+        new_id = self._comm_lookup.get(members)
+        if new_id is None:
+            new_id = len(self._comm_members)
+            self._comm_lookup[members] = new_id
+            self._comm_members.append(members)
+            self._comm_cs.append(None)
+        self._comm_tag_memos[tag_id][comm_id] = new_id
+        return new_id
+
+    def _communities_of(self, comm_id: int) -> CommunitySet:
+        communities = self._comm_cs[comm_id]
+        if communities is None:
+            communities = CommunitySet(
+                Community(asn, value) for asn, value in self._comm_members[comm_id]
+            )
+            self._comm_cs[comm_id] = communities
+        return communities
+
+    # -- propagation --------------------------------------------------------
+
+    def run_task(self, origin_idx: int, prefix: Prefix, seed: SeedPlan) -> tuple[int, bool]:
+        """Propagate one prefix to a fixed point (or the message budget).
+
+        Returns ``(messages processed, truncated?)``; the resulting per-AS
+        states stay in the core's slot array (current generation) until the
+        next ``run_task`` call — read them via :meth:`observed_routes` or
+        :meth:`states`.  The hot loop is deliberately inlined: per-message
+        work is a handful of array and dict operations over interned ids.
+        """
+        topology = self.topology
+        edge_info = topology.edge_info
+        paths = self._paths
+        plens = self._plen
+        comm_add = self._comm_add
+        tag_memos = self._comm_tag_memos
+        rescan = self._rescan
+        export = self._export
+        states = self._states
+        gen = self._generation + 1
+        self._generation = gen
+
+        origin_state = states[origin_idx]
+        if origin_state is None:
+            origin_state = states[origin_idx] = _State(gen)
+        else:
+            origin_state.reset(gen)
+        local_path = self._intern_path((origin_idx,))
+        local_cand = (DEFAULT_LOCAL_PREF, 1, local_path, 0, KIND_LOCAL, 0)
+        origin_state.cand[origin_idx] = local_cand
+        origin_state.counter = 1
+        origin_state.best = local_cand
+        origin_state.best_sender = origin_idx
+        origin_state.bk0 = -DEFAULT_LOCAL_PREF
+        origin_state.bk1 = 1
+        origin_state.bk2 = 0
+        origin_state.announced = seed.announced
+
+        # Queue of fan-out groups: (sender, targets, path_id, comm_id).
+        # path_id None marks a withdrawal group (targets are plain ids);
+        # announcement groups carry (target, receiver-side slot) pairs.
+        queue: deque[tuple] = deque()
+        for pairs, comm_id in seed.groups:
+            queue.append((origin_idx, pairs, local_path, comm_id))
+
+        budget = self.message_budget
+        processed = 0
+        truncated = False
+        popleft = queue.popleft
+        append = queue.append
+        while queue:
+            sender, targets, path_id, group_comm = popleft()
+
+            # Budget accounting is hoisted to the group level: only when this
+            # group could cross the budget does the loop count per message
+            # (`overflow`), preserving the legacy engine's exact truncation
+            # point and total count.
+            overflow = processed + len(targets) > budget
+            if not overflow:
+                processed += len(targets)
+
+            if path_id is None:
+                # -- withdrawal group -----------------------------------------
+                for receiver in targets:
+                    if overflow:
+                        processed += 1
+                        if processed > budget:
+                            truncated = True
+                            break
+                    state = states[receiver]
+                    if state is None or state.gen != gen:
+                        continue
+                    cand_map = state.cand
+                    if sender not in cand_map:
+                        continue
+                    previous = state.best
+                    del cand_map[sender]
+                    if sender == state.best_sender:
+                        rescan(state)
+                    best = state.best
+                    if previous is best or (
+                        previous is not None
+                        and best is not None
+                        and previous[2] == best[2]
+                        and previous[3] == best[3]
+                        and previous[0] == best[0]
+                    ):
+                        continue
+                    export(receiver, state, append)
+                if truncated:
+                    break
+                continue
+
+            # -- announcement group -------------------------------------------
+            path = paths[path_id]
+            plen = plens[path_id]
+            for receiver, slot in targets:
+                if overflow:
+                    processed += 1
+                    if processed > budget:
+                        truncated = True
+                        break
+                if receiver in path:
+                    continue
+                lp, tag_id, rel, overrides = edge_info[slot]
+                if overrides is not None:
+                    lp = overrides.get(prefix, lp)
+                if tag_id >= 0:
+                    comm_id = tag_memos[tag_id].get(group_comm)
+                    if comm_id is None:
+                        comm_id = comm_add(group_comm, tag_id)
+                else:
+                    comm_id = group_comm
+                state = states[receiver]
+                if state is None:
+                    state = states[receiver] = _State(gen)
+                elif state.gen != gen:
+                    state.cand.clear()
+                    state.best = None
+                    state.best_sender = None
+                    state.announced = _EMPTY_SET
+                    state.counter = 0
+                    state.gen = gen
+                cand_map = state.cand
+                old = cand_map.get(sender)
+                if old is None:
+                    seq = state.counter
+                    state.counter = seq + 1
+                else:
+                    seq = old[5]
+                cand = (lp, plen, path_id, comm_id, rel, seq)
+                cand_map[sender] = cand
+                previous = state.best
+                nlp = -lp
+                best_sender = state.best_sender
+                if best_sender is None:
+                    state.best = cand
+                    state.best_sender = sender
+                    state.bk0 = nlp
+                    state.bk1 = plen
+                    state.bk2 = seq
+                elif sender == best_sender:
+                    # The incumbent's own update: seq is unchanged, so the
+                    # (-lp, plen, seq) <= comparison reduces to two scalars.
+                    if nlp < state.bk0 or (nlp == state.bk0 and plen <= state.bk1):
+                        state.best = cand
+                        state.bk0 = nlp
+                        state.bk1 = plen
+                    else:
+                        rescan(state)
+                elif nlp < state.bk0 or (
+                    nlp == state.bk0
+                    and (
+                        plen < state.bk1
+                        or (plen == state.bk1 and seq < state.bk2)
+                    )
+                ):
+                    state.best = cand
+                    state.best_sender = sender
+                    state.bk0 = nlp
+                    state.bk1 = plen
+                    state.bk2 = seq
+                best = state.best
+                if previous is best or (
+                    previous is not None
+                    and previous[2] == best[2]
+                    and previous[3] == best[3]
+                    and previous[0] == best[0]
+                ):
+                    continue
+                export(receiver, state, append)
+            if truncated:
+                break
+
+        return processed, truncated
+
+    def _rescan(self, state: _State) -> None:
+        """Full re-selection after the incumbent was displaced or withdrawn."""
+        best = None
+        best_sender = None
+        bk0 = bk1 = bk2 = 0
+        for sender, cand in state.cand.items():
+            nlp = -cand[0]
+            plen = cand[1]
+            seq = cand[5]
+            if (
+                best is None
+                or nlp < bk0
+                or (nlp == bk0 and (plen < bk1 or (plen == bk1 and seq < bk2)))
+            ):
+                best, best_sender = cand, sender
+                bk0, bk1, bk2 = nlp, plen, seq
+        state.best = best
+        state.best_sender = best_sender
+        state.bk0 = bk0
+        state.bk1 = bk1
+        state.bk2 = bk2
+
+    def _export(self, asn_idx: int, state: _State, append) -> None:
+        """Mirror of the legacy ``_export``: withdrawals first, then the
+        (pre-sorted) announcements, then the announced-to bookkeeping.
+
+        ``append`` is the queue's bound ``append`` — the caller sits in the
+        hot loop and passes it pre-bound.
+        """
+        best = state.best
+        if best is None:
+            targets: tuple = ()
+            target_set: frozenset[int] = _EMPTY_SET
+        else:
+            kind = best[4]
+            if kind == KIND_LOCAL:
+                targets = self._exp_local[asn_idx]
+                target_set = self._exp_local_set[asn_idx]
+            elif (
+                self._honor_scoped[asn_idx]
+                and self._scoped_marker[asn_idx] in self._comm_members[best[3]]
+            ):
+                # The customer asked this AS not to propagate the route further.
+                targets = ()
+                target_set = _EMPTY_SET
+            else:
+                from_customer = kind == REL_CUSTOMER or kind == REL_SIBLING
+                next_hop = state.best_sender
+                memo_key = (asn_idx, from_customer, next_hop)
+                cached = self._target_memo.get(memo_key)
+                if cached is None:
+                    template = (
+                        self._exp_customer[asn_idx]
+                        if from_customer
+                        else self._exp_down[asn_idx]
+                    )
+                    targets = tuple(p for p in template if p[0] != next_hop)
+                    target_set = frozenset(p[0] for p in targets)
+                    self._target_memo[memo_key] = (targets, target_set)
+                else:
+                    targets, target_set = cached
+        announced = state.announced
+        if announced is not target_set:
+            withdrawn = announced - target_set
+            if withdrawn:
+                append((asn_idx, tuple(sorted(withdrawn)), None, 0))
+        if targets:
+            if best[4] == KIND_LOCAL:
+                exported_path = best[2]
+            else:
+                exported_path = self._prepend(best[2], asn_idx)
+            append((asn_idx, targets, exported_path, best[3]))
+        state.announced = target_set
+
+    # -- materialization ----------------------------------------------------
+
+    def states(self) -> dict[int, _State]:
+        """The per-AS states of the most recent ``run_task``, by dense id."""
+        gen = self._generation
+        return {
+            idx: state
+            for idx, state in enumerate(self._states)
+            if state is not None and state.gen == gen
+        }
+
+    def _aspath_of(self, path_id: int) -> ASPath:
+        as_path = self._aspath_memo.get(path_id)
+        if as_path is None:
+            asns = self.topology.asns
+            as_path = ASPath._from_validated(
+                tuple(asns[i] for i in self._paths[path_id])
+            )
+            self._aspath_memo[path_id] = as_path
+        return as_path
+
+    def route_of(self, prefix: Prefix, sender_idx: int, cand: tuple) -> Route:
+        """Materialize one candidate tuple back into a :class:`Route`.
+
+        Builds the frozen dataclass directly via ``object.__setattr__`` —
+        every field is assigned explicitly (``__post_init__`` would be a
+        no-op because ``learned_from`` is set), and observed tables hold
+        tens of thousands of these.
+        """
+        lp, _, path_id, comm_id, kind, _ = cand
+        route = Route.__new__(Route)
+        set_field = _SET_FIELD
+        set_field(route, "prefix", prefix)
+        set_field(route, "as_path", self._aspath_of(path_id))
+        set_field(route, "origin", Origin.IGP)
+        set_field(route, "med", 0)
+        set_field(route, "communities", self._communities_of(comm_id))
+        set_field(route, "learned_from", self.topology.asns[sender_idx])
+        set_field(route, "igp_metric", 0)
+        set_field(route, "router_id", 0)
+        if kind == KIND_LOCAL:
+            set_field(route, "local_pref", DEFAULT_LOCAL_PREF)
+            set_field(route, "source", RouteSource.LOCAL)
+            set_field(route, "neighbor_kind", NeighborKind.UNKNOWN)
+        else:
+            set_field(route, "local_pref", lp)
+            set_field(route, "source", RouteSource.EBGP)
+            set_field(route, "neighbor_kind", _KIND_TO_NEIGHBOR_KIND[kind])
+        return route
+
+    def observed_routes(self, prefix: Prefix) -> dict[ASN, tuple[list[Route], Route | None]]:
+        """Candidate routes (insertion order) + best route per observed AS.
+
+        Reads the most recent ``run_task``'s states.  The best route is the
+        same object as its entry in the candidate list, so downstream
+        identity checks (``RibEntry.alternatives``) behave exactly as with
+        the legacy engine.
+        """
+        tables: dict[ASN, tuple[list[Route], Route | None]] = {}
+        asns = self.topology.asns
+        states = self._states
+        gen = self._generation
+        route_of = self.route_of
+        for asn_idx in self.topology.observed:
+            state = states[asn_idx]
+            # A state whose candidates were all withdrawn is recorded as no
+            # entry at all, exactly like the legacy `_record_observed`.
+            if state is None or state.gen != gen or not state.cand:
+                continue
+            routes: list[Route] = []
+            best_route: Route | None = None
+            best_sender = state.best_sender
+            for sender, cand in state.cand.items():
+                route = route_of(prefix, sender, cand)
+                routes.append(route)
+                if sender == best_sender:
+                    best_route = route
+            tables[asns[asn_idx]] = (routes, best_route)
+        return tables
+
+
+# -- process-pool fan-out ------------------------------------------------------
+
+_WORKER_CORE: _Core | None = None
+
+
+def _init_worker(topology: CompiledTopology, message_budget: int) -> None:
+    global _WORKER_CORE
+    _WORKER_CORE = _Core(topology, message_budget)
+
+
+def _run_chunk(task_indices: list[int]) -> list[tuple[int, dict, int, bool]]:
+    core = _WORKER_CORE
+    assert core is not None, "worker used before initialization"
+    topology = core.topology
+    out = []
+    for task_index in task_indices:
+        origin_idx, prefix = topology.origin_tasks[task_index]
+        processed, truncated = core.run_task(
+            origin_idx, prefix, topology.seeds[(origin_idx, prefix)]
+        )
+        out.append((task_index, core.observed_routes(prefix), processed, truncated))
+    return out
+
+
+class FastPropagationEngine:
+    """Drop-in fast replacement for :class:`PropagationEngine`.
+
+    Args:
+        internet: the synthetic Internet (graph + prefix ownership).
+        assignment: per-AS policies.
+        observed_ases: ASes whose final tables are retained; defaults to the
+            Tier-1 clique.
+        message_budget_per_prefix: safety valve against policy-induced
+            oscillation (same semantics as the legacy engine).
+        workers: per-prefix fan-out width.  ``1`` runs in-process; ``N > 1``
+            shards the originated-prefix list over a process pool (each
+            worker receives the pickled compiled topology once) and merges
+            shard results deterministically in task order.
+        compiled: an already-compiled topology to reuse (skips compilation).
+    """
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        assignment: PolicyAssignment,
+        observed_ases: list[ASN] | None = None,
+        message_budget_per_prefix: int = 500_000,
+        workers: int = 1,
+        compiled: CompiledTopology | None = None,
+    ) -> None:
+        self.internet = internet
+        self.assignment = assignment
+        self.graph = internet.graph
+        self.observed_ases = sorted(
+            set(observed_ases if observed_ases is not None else internet.tier1)
+        )
+        self.message_budget_per_prefix = message_budget_per_prefix
+        self.workers = max(1, int(workers))
+        self.decision = DecisionProcess()
+        self.compiled = (
+            compiled
+            if compiled is not None
+            else compile_topology(internet, assignment, self.observed_ases)
+        )
+        self._core: _Core | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Propagate every originated prefix and return the observed tables."""
+        result = SimulationResult(internet=self.internet, assignment=self.assignment)
+        for asn in self.observed_ases:
+            result.tables[asn] = LocRib(owner=asn, decision=self.decision)
+        topology = self.compiled
+        tasks = topology.origin_tasks
+        if self.workers == 1 or len(tasks) <= 1:
+            core = self._local_core()
+            for origin_idx, prefix in tasks:
+                processed, truncated = core.run_task(
+                    origin_idx, prefix, topology.seeds[(origin_idx, prefix)]
+                )
+                result.message_count += processed
+                if truncated:
+                    result.truncated_prefixes.append(prefix)
+                for asn, (routes, best) in core.observed_routes(prefix).items():
+                    result.tables[asn].load_entry(prefix, routes, best)
+            return result
+
+        chunks = [
+            list(range(start, len(tasks), self.workers))
+            for start in range(self.workers)
+        ]
+        merged: list[tuple[int, dict, int, bool]] = []
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(topology, self.message_budget_per_prefix),
+        ) as pool:
+            for shard in pool.map(_run_chunk, [c for c in chunks if c]):
+                merged.extend(shard)
+        merged.sort(key=lambda item: item[0])
+        for task_index, tables, processed, truncated in merged:
+            result.message_count += processed
+            prefix = tasks[task_index][1]
+            if truncated:
+                result.truncated_prefixes.append(prefix)
+            for asn, (routes, best) in tables.items():
+                result.tables[asn].load_entry(prefix, routes, best)
+        return result
+
+    def run_prefix(self, prefix: Prefix, origin: ASN) -> PrefixRun:
+        """Propagate a single prefix and return the full per-AS state.
+
+        API- and result-compatible with :meth:`PropagationEngine.run_prefix`.
+        """
+        topology = self.compiled
+        origin_idx = topology.index_of.get(origin)
+        if origin_idx is None:
+            raise SimulationError(f"origin AS{origin} is not in the graph")
+        core = self._local_core()
+        seed = topology.seeds.get((origin_idx, prefix))
+        if seed is None:
+            seed = self._adhoc_seed(origin, prefix, core)
+        processed, truncated = core.run_task(origin_idx, prefix, seed)
+        states: dict[ASN, PrefixState] = {}
+        asns = topology.asns
+        for asn_idx, raw in core.states().items():
+            state = PrefixState()
+            for sender, cand in raw.cand.items():
+                route = core.route_of(prefix, sender, cand)
+                state.candidates[asns[sender]] = route
+                if sender == raw.best_sender:
+                    state.best = route
+            state.announced_to = {asns[i] for i in raw.announced}
+            states[asns[asn_idx]] = state
+        return PrefixRun(states=states, message_count=processed, truncated=truncated)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _local_core(self) -> _Core:
+        if self._core is None:
+            self._core = _Core(self.compiled, self.message_budget_per_prefix)
+        return self._core
+
+    def _adhoc_seed(self, origin: ASN, prefix: Prefix, core: _Core) -> SeedPlan:
+        """Seed plan for a (prefix, origin) pair outside the compiled set."""
+        graph = self.graph
+        by_rel: dict[int, list[ASN]] = {code: [] for code in range(4)}
+        rel_code = {
+            "customer": REL_CUSTOMER,
+            "peer": REL_PEER,
+            "provider": REL_PROVIDER,
+            "sibling": REL_SIBLING,
+        }
+        for neighbor, relationship in sorted(graph.neighbor_items(origin)):
+            by_rel[rel_code[relationship.value]].append(neighbor)
+        return compile_seed_plan(
+            self.compiled,
+            self.assignment.policy_for(origin),
+            by_rel[REL_PROVIDER],
+            by_rel[REL_PEER],
+            by_rel[REL_CUSTOMER],
+            by_rel[REL_SIBLING],
+            prefix,
+            core.intern_communities,
+        )

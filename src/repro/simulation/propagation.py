@@ -31,6 +31,7 @@ Looking Glass servers.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.bgp.attributes import Community
@@ -106,6 +107,35 @@ class PrefixState:
         self.announced_to: set[ASN] = set()
 
 
+@dataclass
+class PrefixRun(Mapping):
+    """Outcome of propagating a single prefix.
+
+    Behaves as a read-only mapping of ``ASN -> PrefixState`` (what
+    ``run_prefix`` historically returned) while also exposing the run
+    metadata that used to be silently discarded.
+
+    Attributes:
+        states: complete per-AS propagation state for the prefix.
+        message_count: announcements/withdrawals processed for this prefix.
+        truncated: whether propagation hit the message budget and was cut
+            short before reaching a fixed point.
+    """
+
+    states: dict[ASN, PrefixState]
+    message_count: int = 0
+    truncated: bool = False
+
+    def __getitem__(self, asn: ASN) -> PrefixState:
+        return self.states[asn]
+
+    def __iter__(self):
+        return iter(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
 class PropagationEngine:
     """Propagates every originated prefix and collects tables at vantage ASes.
 
@@ -140,11 +170,17 @@ class PropagationEngine:
         self._providers: dict[ASN, list[ASN]] = {}
         self._peers: dict[ASN, list[ASN]] = {}
         self._siblings: dict[ASN, list[ASN]] = {}
+        buckets = {
+            Relationship.CUSTOMER: self._customers,
+            Relationship.PROVIDER: self._providers,
+            Relationship.PEER: self._peers,
+            Relationship.SIBLING: self._siblings,
+        }
         for asn in self.graph.ases():
-            self._customers[asn] = sorted(self.graph.customers_of(asn))
-            self._providers[asn] = sorted(self.graph.providers_of(asn))
-            self._peers[asn] = sorted(self.graph.peers_of(asn))
-            self._siblings[asn] = sorted(self.graph.siblings_of(asn))
+            for bucket in buckets.values():
+                bucket[asn] = []
+            for neighbor, relationship in sorted(self.graph.neighbor_items(asn)):
+                buckets[relationship][asn].append(neighbor)
 
     # -- public API ------------------------------------------------------------
 
@@ -159,14 +195,22 @@ class PropagationEngine:
                 self._record_observed(states, result)
         return result
 
-    def run_prefix(self, prefix: Prefix, origin: ASN) -> dict[ASN, PrefixState]:
+    def run_prefix(self, prefix: Prefix, origin: ASN) -> PrefixRun:
         """Propagate a single prefix and return the full per-AS state.
 
         Exposed for tests and the scenario module, where the complete
-        Internet-wide outcome for one prefix is of interest.
+        Internet-wide outcome for one prefix is of interest.  The returned
+        :class:`PrefixRun` is mapping-compatible with the plain state dict
+        earlier versions returned, and additionally carries the message count
+        and whether the run was truncated by the message budget.
         """
         result = SimulationResult(internet=self.internet, assignment=self.assignment)
-        return self._propagate_prefix(prefix, origin, result)
+        states = self._propagate_prefix(prefix, origin, result)
+        return PrefixRun(
+            states=states,
+            message_count=result.message_count,
+            truncated=bool(result.truncated_prefixes),
+        )
 
     # -- propagation core ------------------------------------------------------------
 
@@ -369,12 +413,10 @@ class PropagationEngine:
     def _same_route(left: Route, right: Route | None) -> bool:
         if right is None:
             return False
-        return (
-            left.as_path == right.as_path
-            and left.communities == right.communities
-            and left.local_pref == right.local_pref
-            and left.med == right.med
-        )
+        # Compare the full wire-visible signature, ORIGIN included: a best
+        # route that changes only in ORIGIN still changes what neighbors use
+        # at decision step 3 and must be re-announced.
+        return left.export_signature == right.export_signature
 
     def _index_of_neighbor(self, asn: ASN, neighbor: ASN) -> int:
         index_map = self._neighbor_index.get(asn)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import SimulationError
 from repro.net.asn import ASN
+from repro.simulation.fastpath import FastPropagationEngine
 from repro.simulation.policies import PolicyAssignment
 from repro.simulation.propagation import PropagationEngine, SimulationResult
 from repro.topology.generator import SyntheticInternet
@@ -84,12 +85,18 @@ class Timeline:
         assignment: PolicyAssignment,
         observed_ases: list[ASN],
         parameters: TimelineParameters | None = None,
+        engine: str = "fast",
     ) -> None:
         self.internet = internet
         self.base_assignment = assignment
         self.observed_ases = observed_ases
         self.parameters = parameters or TimelineParameters()
         self.parameters.validate()
+        if engine not in ("fast", "legacy"):
+            raise SimulationError(
+                f"unknown propagation engine {engine!r}; known: fast, legacy"
+            )
+        self.engine = engine
 
     def run(self) -> list[Snapshot]:
         """Simulate every snapshot and return them in chronological order."""
@@ -100,9 +107,17 @@ class Timeline:
             changed: set[ASN] = set()
             if index > 0:
                 changed = self._churn(assignment, rng)
-            engine = PropagationEngine(
-                self.internet, assignment, observed_ases=self.observed_ases
-            )
+            # The churn mutates export policies in place, so each snapshot
+            # compiles (or classifies) the assignment afresh; both engines
+            # produce identical snapshots.
+            if self.engine == "fast":
+                engine: PropagationEngine | FastPropagationEngine = FastPropagationEngine(
+                    self.internet, assignment, observed_ases=self.observed_ases
+                )
+            else:
+                engine = PropagationEngine(
+                    self.internet, assignment, observed_ases=self.observed_ases
+                )
             result = engine.run()
             snapshots.append(Snapshot(index=index, result=result, changed_origins=changed))
         return snapshots

@@ -151,6 +151,15 @@ class AnnotatedASGraph:
         """Every neighbor of an AS."""
         return list(self._neighbors.get(asn, {}))
 
+    def neighbor_items(self, asn: ASN) -> Iterator[tuple[ASN, Relationship]]:
+        """Iterate ``(neighbor, relationship)`` pairs of an AS in one pass.
+
+        The single-pass form is what bulk consumers (the propagation engines'
+        neighbor classification, the fast-path topology compiler) want:
+        one dictionary walk instead of one scan per relationship kind.
+        """
+        return iter(self._neighbors.get(asn, {}).items())
+
     def relationship(self, asn: ASN, neighbor: ASN) -> Relationship | None:
         """The relationship of ``neighbor`` from ``asn``'s point of view, if linked."""
         return self._neighbors.get(asn, {}).get(neighbor)

@@ -90,6 +90,30 @@ class TestCommands:
         )
         assert json.loads(out)["workers"] == 2
 
+    def test_run_engine_flag_selects_legacy(self, capsys):
+        baseline = run_cli(capsys, "run", "table5", "--scenario", "small", "--json")
+        legacy = run_cli(
+            capsys, "run", "table5", "--scenario", "small", "--engine", "legacy",
+            "--json",
+        )
+        # Both engines reproduce the identical table.
+        assert json.loads(legacy)["experiments"][0]["rows"] == (
+            json.loads(baseline)["experiments"][0]["rows"]
+        )
+
+    def test_run_propagation_workers_flag(self, capsys):
+        out = run_cli(
+            capsys, "run", "table1", "--scenario", "small",
+            "--propagation-workers", "2",
+        )
+        assert "table1" in out
+
+    def test_invalid_propagation_workers_fails_cleanly(self, capsys):
+        assert cli_main(
+            ["run", "table1", "--scenario", "small", "--propagation-workers", "0"]
+        ) == 2
+        assert "workers" in capsys.readouterr().err
+
 
 class TestLegacyShim:
     def test_list_flag(self, capsys):

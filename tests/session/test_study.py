@@ -9,6 +9,7 @@ from repro.exceptions import ExperimentError, SimulationError
 from repro.session import (
     IrrParameters,
     ObservationParameters,
+    PropagationSettings,
     Stage,
     StageCache,
     StageView,
@@ -142,6 +143,35 @@ class TestDatasetCompatibilityView:
                 replace(TINY, observation=ObservationParameters(collector_vantage_count=0)),
                 cache=cache,
             )
+
+
+class TestPropagationSettings:
+    def test_default_is_fast_single_worker(self, study):
+        assert study.propagation_settings == PropagationSettings(engine="fast", workers=1)
+
+    def test_settings_survive_with_and_seeded(self, cache):
+        settings = PropagationSettings(engine="legacy", workers=2)
+        study = Study(TINY, cache=cache, propagation=settings)
+        assert study.with_(irr=IrrParameters(seed=9)).propagation_settings == settings
+        assert study.seeded(5).propagation_settings == settings
+
+    def test_worker_count_does_not_change_the_stage_key(self, cache):
+        one = Study(TINY, cache=cache, propagation=PropagationSettings(workers=1))
+        four = Study(TINY, cache=cache, propagation=PropagationSettings(workers=4))
+        assert one.stage_key(Stage.PROPAGATION) == four.stage_key(Stage.PROPAGATION)
+
+    def test_engine_changes_only_the_propagation_key(self, cache):
+        fast = Study(TINY, cache=cache)
+        legacy = Study(TINY, cache=cache, propagation=PropagationSettings(engine="legacy"))
+        assert fast.stage_key(Stage.PROPAGATION) != legacy.stage_key(Stage.PROPAGATION)
+        assert fast.stage_key(Stage.POLICIES) == legacy.stage_key(Stage.POLICIES)
+        assert fast.stage_key(Stage.IRR) == legacy.stage_key(Stage.IRR)
+
+    def test_invalid_settings_are_rejected(self, cache):
+        with pytest.raises(SimulationError):
+            Study(TINY, cache=cache, propagation=PropagationSettings(engine="warp"))
+        with pytest.raises(SimulationError):
+            Study(TINY, cache=cache, propagation=PropagationSettings(workers=0))
 
 
 class TestConfigConversion:

@@ -1,0 +1,220 @@
+"""Unit tests of the fast propagation core and the satellite bug fixes.
+
+Covers, under *both* engines where behaviour must match:
+
+* the ORIGIN-attribute regression in ``_same_route`` (a best-route change
+  that differs only in ORIGIN must be re-announced),
+* ``run_prefix`` returning the message count and truncation flag it used to
+  discard, including the budget-truncation path,
+* withdrawal cascades: an AS whose best route flips to a non-exportable one
+  retracts its earlier announcements from providers and peers.
+"""
+
+import pytest
+
+from repro.bgp.attributes import Origin
+from repro.bgp.route import Route, originate
+from repro.exceptions import SimulationError
+from repro.net.allocator import AddressAllocator
+from repro.net.asn import ASN
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+from repro.simulation.fastpath import FastPropagationEngine, compile_topology
+from repro.simulation.policies import ASPolicy, PolicyAssignment
+from repro.simulation.propagation import PrefixRun, PropagationEngine
+from repro.topology.generator import GeneratorParameters, SyntheticInternet
+from repro.topology.graph import AnnotatedASGraph
+from repro.topology.hierarchy import classify_tiers
+
+O, C, E, X, P = 10, 20, 30, 40, 50
+
+PREFIX = Prefix.parse("10.10.0.0/16")
+
+
+def _internet(graph: AnnotatedASGraph, originated: dict[ASN, list[Prefix]]) -> SyntheticInternet:
+    return SyntheticInternet(
+        parameters=GeneratorParameters(),
+        graph=graph,
+        tiers=classify_tiers(graph),
+        allocator=AddressAllocator(),
+        originated=originated,
+    )
+
+
+@pytest.fixture
+def cascade_setup():
+    """AS X prefers its peer E over its customer C (atypical LOCAL_PREF).
+
+    ::
+
+            P
+            |           (P provides X; X peers with E; C is X's customer;
+            X --- E      O is multihomed under C and E and originates PREFIX)
+            |     |
+            C     |
+             \\   |
+               O-+
+    """
+    graph = AnnotatedASGraph.from_edges(
+        provider_customer=[(P, X), (X, C), (C, O), (E, O)],
+        peer_peer=[(X, E)],
+    )
+    internet = _internet(graph, {O: [PREFIX]})
+    assignment = PolicyAssignment()
+    for asn in graph.ases():
+        assignment.policies[asn] = ASPolicy(asn=asn)
+    # The atypical preference: routes from peer E beat customer routes.
+    assignment.policies[X].neighbor_local_pref[E] = 120
+    return internet, assignment
+
+
+class TestWithdrawalCascade:
+    @pytest.mark.parametrize("engine_cls", [PropagationEngine, FastPropagationEngine])
+    def test_flip_to_peer_route_retracts_upstream_announcements(
+        self, cascade_setup, engine_cls
+    ):
+        internet, assignment = cascade_setup
+        engine = engine_cls(internet, assignment, observed_ases=[P, X])
+        run = engine.run_prefix(PREFIX, O)
+        # X first learns the route via its customer C (exportable to
+        # everyone), then via peer E with LOCAL_PREF 120: the best flips to a
+        # peer route, which must not be exported to provider P or peer E.
+        best = run[X].best
+        assert best is not None and best.is_peer_route
+        assert best.local_pref == 120
+        assert run[X].announced_to == {C}
+        # The cascade: P and E held X's earlier announcement and must have
+        # processed the retraction.
+        assert X not in run[P].candidates
+        assert X not in run[E].candidates
+        # C keeps X's announcement (a customer may still hear the route).
+        assert X in run[C].candidates
+
+    @pytest.mark.parametrize("engine_cls", [PropagationEngine, FastPropagationEngine])
+    def test_fully_withdrawn_prefix_leaves_no_table_entry(
+        self, cascade_setup, engine_cls
+    ):
+        """An observed AS whose candidates were all retracted records no
+        entry at all — not an empty one (regression: the fast engine used to
+        load an empty RibEntry where the legacy engine recorded nothing)."""
+        internet, assignment = cascade_setup
+        result = engine_cls(internet, assignment, observed_ases=[P]).run()
+        table = result.table_of(P)
+        assert len(table) == 0
+        assert list(table.prefixes()) == []
+
+    def test_both_engines_agree_on_the_cascade(self, cascade_setup):
+        internet, assignment = cascade_setup
+        legacy = PropagationEngine(internet, assignment, observed_ases=[P]).run_prefix(
+            PREFIX, O
+        )
+        fast = FastPropagationEngine(
+            internet, assignment, observed_ases=[P]
+        ).run_prefix(PREFIX, O)
+        assert fast.message_count == legacy.message_count
+        assert fast.truncated == legacy.truncated
+        assert sorted(fast.states) == sorted(legacy.states)
+        for asn, state in legacy.states.items():
+            assert fast[asn].candidates == state.candidates
+            assert fast[asn].best == state.best
+            assert fast[asn].announced_to == state.announced_to
+
+
+class TestSameRouteOriginFix:
+    def test_routes_differing_only_in_origin_are_not_the_same(self):
+        base = originate(PREFIX, O).replace(origin=Origin.IGP)
+        shifted = base.replace(origin=Origin.EGP)
+        assert base.export_signature != shifted.export_signature
+        assert not PropagationEngine._same_route(base, shifted)
+
+    def test_identical_routes_are_the_same(self):
+        base = originate(PREFIX, O)
+        assert PropagationEngine._same_route(base, base.replace())
+        assert not PropagationEngine._same_route(base, None)
+
+    def test_export_signature_covers_the_wire_attributes(self):
+        route = Route(prefix=PREFIX, as_path=ASPath((C, O)), local_pref=90)
+        as_path, communities, local_pref, med, origin = route.export_signature
+        assert as_path == route.as_path
+        assert communities == route.communities
+        assert (local_pref, med, origin) == (90, route.med, route.origin)
+
+
+class TestPrefixRun:
+    @pytest.mark.parametrize("engine_cls", [PropagationEngine, FastPropagationEngine])
+    def test_run_prefix_reports_messages_and_truncation(self, cascade_setup, engine_cls):
+        internet, assignment = cascade_setup
+        engine = engine_cls(internet, assignment, observed_ases=[P])
+        run = engine.run_prefix(PREFIX, O)
+        assert isinstance(run, PrefixRun)
+        assert run.message_count > 0
+        assert run.truncated is False
+
+    @pytest.mark.parametrize("engine_cls", [PropagationEngine, FastPropagationEngine])
+    def test_run_prefix_truncates_at_the_message_budget(self, cascade_setup, engine_cls):
+        internet, assignment = cascade_setup
+        budget = 3
+        engine = engine_cls(
+            internet, assignment, observed_ases=[P], message_budget_per_prefix=budget
+        )
+        run = engine.run_prefix(PREFIX, O)
+        assert run.truncated is True
+        # The message that trips the budget is counted but not processed.
+        assert run.message_count == budget + 1
+
+    @pytest.mark.parametrize("engine_cls", [PropagationEngine, FastPropagationEngine])
+    def test_run_records_truncated_prefixes(self, cascade_setup, engine_cls):
+        internet, assignment = cascade_setup
+        engine = engine_cls(
+            internet, assignment, observed_ases=[P], message_budget_per_prefix=3
+        )
+        result = engine.run()
+        assert result.truncated_prefixes == [PREFIX]
+        assert result.message_count == 4
+
+    def test_run_prefix_is_mapping_compatible(self, cascade_setup):
+        internet, assignment = cascade_setup
+        run = PropagationEngine(internet, assignment, observed_ases=[P]).run_prefix(
+            PREFIX, O
+        )
+        assert len(run) == len(run.states)
+        assert set(run) == set(run.states)
+        assert run.get(X) is run[X]
+        assert run.get(999) is None
+
+
+class TestCompiledTopology:
+    def test_dense_ids_follow_asn_order(self, cascade_setup):
+        internet, assignment = cascade_setup
+        topology = compile_topology(internet, assignment)
+        assert topology.asns == tuple(sorted(internet.graph.ases()))
+        assert [topology.asns[i] for i in topology.observed] == sorted(internet.tier1)
+        assert topology.as_count == len(internet.graph.ases())
+
+    def test_seed_plans_cover_every_originated_prefix(self, cascade_setup):
+        internet, assignment = cascade_setup
+        topology = compile_topology(internet, assignment)
+        assert topology.origin_tasks == [(topology.index_of[O], PREFIX)]
+        seed = topology.seeds[(topology.index_of[O], PREFIX)]
+        announced = {topology.asns[i] for i in seed.announced}
+        assert announced == {C, E}
+
+    def test_unknown_origin_is_rejected(self, cascade_setup):
+        internet, assignment = cascade_setup
+        engine = FastPropagationEngine(internet, assignment, observed_ases=[P])
+        with pytest.raises(SimulationError):
+            engine.run_prefix(PREFIX, 999)
+
+    def test_adhoc_prefix_uses_the_same_export_policy(self, cascade_setup):
+        """A prefix outside the compiled set still honours the origin policy."""
+        internet, assignment = cascade_setup
+        other = Prefix.parse("10.99.0.0/16")
+        legacy = PropagationEngine(internet, assignment, observed_ases=[P]).run_prefix(
+            other, O
+        )
+        fast = FastPropagationEngine(
+            internet, assignment, observed_ases=[P]
+        ).run_prefix(other, O)
+        assert fast.message_count == legacy.message_count
+        for asn, state in legacy.states.items():
+            assert fast[asn].candidates == state.candidates

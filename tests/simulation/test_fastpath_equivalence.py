@@ -1,0 +1,98 @@
+"""Golden equivalence suite: fast engine ≡ legacy engine, every scenario.
+
+The fast engine's contract is *semantic identity* with the legacy engine:
+same observed tables (candidates, best routes, attributes), same message
+counts, same truncated prefixes — for every registered scenario and for both
+the in-process and the process-pool execution paths.  This suite is the
+gate that keeps hot-path optimizations honest.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.session.cache import StageCache
+from repro.session.scenarios import get_scenario, scenario_names
+from repro.simulation.fastpath import FastPropagationEngine
+from repro.simulation.propagation import PropagationEngine, SimulationResult
+
+#: workers=1 exercises the in-process core, workers=4 the process pool.
+WORKER_COUNTS = (1, 4)
+
+_CACHE: dict[str, tuple] = {}
+
+
+def _scenario_runs(name: str):
+    """(internet, plan, legacy result) for a scenario, built once per session."""
+    cached = _CACHE.get(name)
+    if cached is None:
+        study = get_scenario(name).study(cache=StageCache())
+        internet = study.topology()
+        plan = study.policies()
+        legacy = PropagationEngine(
+            internet, plan.assignment, observed_ases=plan.observed_ases
+        ).run()
+        cached = _CACHE[name] = (internet, plan, legacy)
+    return cached
+
+
+def table_snapshot(result: SimulationResult) -> dict:
+    """Order-insensitive semantic content of every observed table."""
+    snapshot = {}
+    for asn in result.observed_ases:
+        table = result.table_of(asn)
+        snapshot[asn] = {
+            entry.prefix: (Counter(entry.routes), entry.best)
+            for entry in table.entries()
+        }
+    return snapshot
+
+
+def assert_equivalent(legacy: SimulationResult, fast: SimulationResult) -> None:
+    assert fast.message_count == legacy.message_count
+    assert fast.truncated_prefixes == legacy.truncated_prefixes
+    assert fast.observed_ases == legacy.observed_ases
+    legacy_tables = table_snapshot(legacy)
+    fast_tables = table_snapshot(fast)
+    for asn in legacy.observed_ases:
+        assert fast_tables[asn] == legacy_tables[asn], f"table mismatch at AS{asn}"
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("scenario", sorted(scenario_names()))
+def test_fast_engine_matches_legacy(scenario: str, workers: int) -> None:
+    internet, plan, legacy = _scenario_runs(scenario)
+    fast = FastPropagationEngine(
+        internet,
+        plan.assignment,
+        observed_ases=plan.observed_ases,
+        workers=workers,
+    ).run()
+    assert_equivalent(legacy, fast)
+
+
+def test_session_layer_engines_agree() -> None:
+    """The Study propagation stage builds the same artifact under both engines."""
+    from repro.session.stages import PropagationSettings
+
+    fast_study = get_scenario("small").study(cache=StageCache())
+    legacy_study = get_scenario("small").study(
+        cache=StageCache(), propagation=PropagationSettings(engine="legacy")
+    )
+    assert fast_study.propagation_settings.engine == "fast"
+    assert_equivalent(legacy_study.propagation(), fast_study.propagation())
+
+
+def test_engine_choice_is_part_of_the_stage_key() -> None:
+    from repro.session.stages import PropagationSettings, Stage
+
+    cache = StageCache()
+    fast_study = get_scenario("small").study(cache=cache)
+    legacy_study = get_scenario("small").study(
+        cache=cache, propagation=PropagationSettings(engine="legacy")
+    )
+    assert fast_study.stage_key(Stage.PROPAGATION) != legacy_study.stage_key(
+        Stage.PROPAGATION
+    )
+    # Upstream stages are untouched by the execution settings.
+    assert fast_study.stage_key(Stage.POLICIES) == legacy_study.stage_key(Stage.POLICIES)
