@@ -1,22 +1,27 @@
-"""Propagation-engine benchmark: engine × scenario × workers → JSON.
+"""Benchmarks: propagation engines and the analyzer pass, scenario × JSON.
 
-Times the legacy and fast propagation engines over the registered scenario
-presets and writes a machine-readable report (default:
-``BENCH_propagation.json`` at the repository root) so perf changes are
-recorded in-repo and visible per-PR via the CI smoke job.
+Two suites, selected with ``--suite``:
+
+* ``propagation`` (default) — times the legacy and fast propagation engines
+  (``BENCH_propagation.json``).
+* ``analysis`` — times the paper's full analyzer pass twice over the same
+  dataset: once with the legacy per-analyzer :mod:`repro.core` classes, once
+  through the compiled :class:`~repro.analysis.index.MeasurementIndex` +
+  :class:`~repro.analysis.engine.AnalysisEngine` (index build *included* in
+  the timed engine pass).  Writes ``BENCH_analysis.json``.
 
 Usage::
 
-    python benchmarks/run_bench.py                       # small + standard
+    python benchmarks/run_bench.py                       # propagation: small + standard
     python benchmarks/run_bench.py --scenario standard --workers 1 2 4
-    python benchmarks/run_bench.py --scenario small --quick
+    python benchmarks/run_bench.py --suite analysis --scenario large
+    python benchmarks/run_bench.py --suite analysis --full
     python benchmarks/run_bench.py --full                # adds the large scenario
 
-The fast engine's wall time includes topology compilation (reported
-separately as ``compile_seconds``) so the speedup numbers are end-to-end
-honest.  Every timed run's message count is cross-checked against the
-legacy engine's — a benchmark that drifts from the golden behaviour fails
-loudly instead of reporting a meaningless speedup.
+Both suites cross-check the timed runs against the golden behaviour (the
+propagation suite compares message counts, the analysis suite compares the
+actual result objects) — a benchmark that drifts fails loudly instead of
+reporting a meaningless speedup.
 """
 
 from __future__ import annotations
@@ -36,7 +41,9 @@ from repro.session.scenarios import get_scenario  # noqa: E402
 from repro.simulation.fastpath import FastPropagationEngine, compile_topology  # noqa: E402
 from repro.simulation.propagation import PropagationEngine  # noqa: E402
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_propagation.json"
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = _ROOT / "BENCH_propagation.json"
+DEFAULT_ANALYSIS_OUTPUT = _ROOT / "BENCH_analysis.json"
 
 
 def _time_legacy(internet, plan, repeats: int) -> tuple[float, int]:
@@ -134,8 +141,231 @@ def run_benchmarks(
     return results
 
 
+# -- the analyzer-pass suite --------------------------------------------------------
+
+
+def _legacy_analyzer_pass(dataset) -> tuple[dict, dict]:
+    """Run the paper's full analyzer pass with the legacy repro.core classes.
+
+    Returns ``(results, step timings)``; the results dict is compared
+    against the engine pass for equality.
+    """
+    from repro.core.atoms import PolicyAtomAnalyzer
+    from repro.core.causes import CauseAnalyzer
+    from repro.core.community import CommunityAnalyzer
+    from repro.core.consistency import ConsistencyAnalyzer
+    from repro.core.export_policy import ExportPolicyAnalyzer
+    from repro.core.import_policy import ImportPolicyAnalyzer
+    from repro.core.peer_export import PeerExportAnalyzer
+    from repro.core.verification import Verifier
+    from repro.relationships.gao import GaoInference
+
+    graph = dataset.ground_truth_graph
+    glasses = [dataset.looking_glass_of(a) for a in dataset.looking_glass_ases]
+    tagging = [
+        dataset.looking_glass_of(a)
+        for a in dataset.looking_glass_ases
+        if dataset.assignment.policies[a].community_plan is not None
+    ]
+    providers = dataset.providers_under_study(3)
+    tables = {p: dataset.result.table_of(p) for p in providers}
+    originated = dataset.internet.originated
+
+    results: dict = {}
+    timings: dict[str, float] = {}
+
+    def step(name, fn):
+        started = time.perf_counter()
+        results[name] = fn()
+        timings[name] = time.perf_counter() - started
+
+    step("atoms", lambda: PolicyAtomAnalyzer().compute_atoms(dataset.collector))
+    importer = ImportPolicyAnalyzer(graph)
+    step("import_lg", lambda: importer.analyze_many(glasses))
+    step("import_irr", lambda: importer.analyze_irr(dataset.irr, min_neighbors=5))
+    consistency = ConsistencyAnalyzer()
+    step("consistency_as", lambda: consistency.analyze_many(glasses))
+    biggest = max(glasses, key=lambda g: len(list(g.table.prefixes())))
+    step(
+        "consistency_routers",
+        lambda: consistency.analyze_routers(biggest, router_count=30),
+    )
+    exporter = ExportPolicyAnalyzer(graph)
+    step(
+        "sa_studied",
+        lambda: exporter.analyze_providers(tables, known_customer_prefixes=originated),
+    )
+    step(
+        "sa_all",
+        lambda: exporter.analyze_providers(
+            {
+                asn: dataset.result.table_of(asn)
+                for asn in dataset.result.observed_ases
+                if graph.customers_of(asn)
+            },
+            known_customer_prefixes=originated,
+        ),
+    )
+    step(
+        "customer_sa",
+        lambda: exporter.analyze_customers(results["sa_studied"], tables),
+    )
+    step(
+        "peer_export",
+        lambda: PeerExportAnalyzer(graph).analyze_many(tables, originated=originated),
+    )
+    causes = CauseAnalyzer(graph)
+    step(
+        "causes",
+        lambda: {
+            p: (
+                causes.homing_breakdown(r),
+                causes.cause_breakdown(r, tables[p]),
+                causes.case3_analysis(r, dataset.collector),
+            )
+            for p, r in results["sa_studied"].items()
+        },
+    )
+    community = CommunityAnalyzer()
+    step(
+        "community",
+        lambda: [
+            (community.neighbor_signatures(g), community.infer_semantics(g))
+            for g in tagging
+        ],
+    )
+    step("fig9", lambda: [community.prefix_counts_by_rank(g) for g in glasses])
+    step(
+        "verify_relationships",
+        lambda: Verifier(
+            GaoInference().infer(dataset.collector.all_paths()).graph,
+            CommunityAnalyzer(),
+        ).verify_relationships(tagging),
+    )
+    step(
+        "verify_sa",
+        lambda: Verifier(graph).verify_many(results["sa_studied"], dataset.collector),
+    )
+    return results, timings
+
+
+def _engine_analyzer_pass(dataset) -> tuple[dict, dict]:
+    """Run the same analyzer pass through a freshly compiled index.
+
+    The index build is a timed step (``index_build``), so the reported
+    engine total is end-to-end honest.
+    """
+    from repro.analysis.engine import AnalysisEngine
+    from repro.analysis.index import MeasurementIndex
+
+    results: dict = {}
+    timings: dict[str, float] = {}
+
+    def step(name, fn):
+        started = time.perf_counter()
+        results[name] = fn()
+        timings[name] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine = AnalysisEngine(MeasurementIndex.from_dataset(dataset))
+    timings["index_build"] = time.perf_counter() - started
+
+    step("atoms", engine.atoms)
+    step("import_lg", engine.import_typicality)
+    step("import_irr", lambda: engine.irr_typicality(min_neighbors=5))
+    step("consistency_as", engine.consistency_by_as)
+    step("consistency_routers", lambda: engine.consistency_by_router(router_count=30))
+    step("sa_studied", engine.sa_reports)
+    step("sa_all", engine.all_provider_reports)
+    step("customer_sa", engine.customer_sa_reports)
+    step("peer_export", engine.peer_export_reports)
+    step(
+        "causes",
+        lambda: {
+            p: (engine.homing_breakdown(p), engine.cause_breakdown(p), engine.case3(p))
+            for p in engine.sa_reports()
+        },
+    )
+    step(
+        "community",
+        lambda: [
+            (engine.neighbor_signatures(a), engine.infer_semantics(a))
+            for a in engine.tagging_asns()
+        ],
+    )
+    step(
+        "fig9",
+        lambda: [
+            engine.prefix_counts_by_rank(a) for a in engine.index.looking_glass_ases
+        ],
+    )
+    step("verify_relationships", engine.verify_relationships)
+    step("verify_sa", engine.verify_sa_prefixes)
+    return results, timings
+
+
+def run_analysis_benchmarks(scenarios: list[str], repeats: int) -> list[dict]:
+    """Time the legacy vs. index-backed analyzer pass per scenario."""
+    results = []
+    for name in scenarios:
+        print(f"[{name}] building dataset ...", file=sys.stderr)
+        dataset = get_scenario(name).study(cache=StageCache()).dataset()
+
+        legacy_best = None
+        legacy_timings: dict[str, float] = {}
+        legacy_results: dict = {}
+        for _ in range(repeats):
+            print(f"[{name}] timing legacy analyzer pass ...", file=sys.stderr)
+            legacy_results, timings = _legacy_analyzer_pass(dataset)
+            total = sum(timings.values())
+            if legacy_best is None or total < legacy_best:
+                legacy_best, legacy_timings = total, timings
+
+        engine_best = None
+        engine_timings: dict[str, float] = {}
+        engine_results: dict = {}
+        for _ in range(repeats):
+            print(f"[{name}] timing engine analyzer pass ...", file=sys.stderr)
+            engine_results, timings = _engine_analyzer_pass(dataset)
+            total = sum(timings.values())
+            if engine_best is None or total < engine_best:
+                engine_best, engine_timings = total, timings
+
+        for step_name, legacy_value in legacy_results.items():
+            if engine_results[step_name] != legacy_value:
+                raise SystemExit(
+                    f"analyzer divergence on {name!r}: step {step_name!r} differs "
+                    "between the legacy pass and the engine pass"
+                )
+        speedup = round(legacy_best / engine_best, 2)
+        print(
+            f"[{name}] legacy {legacy_best:.2f}s, engine {engine_best:.2f}s "
+            f"(index {engine_timings['index_build']:.2f}s) -> {speedup}x",
+            file=sys.stderr,
+        )
+        results.append(
+            {
+                "scenario": name,
+                "legacy_seconds": round(legacy_best, 4),
+                "engine_seconds": round(engine_best, 4),
+                "index_build_seconds": round(engine_timings["index_build"], 4),
+                "speedup_vs_legacy": speedup,
+                "legacy_steps": {k: round(v, 4) for k, v in legacy_timings.items()},
+                "engine_steps": {k: round(v, 4) for k, v in engine_timings.items()},
+            }
+        )
+    return results
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("propagation", "analysis"),
+        default="propagation",
+        help="what to benchmark: the propagation engines (default) or the "
+        "analyzer pass (legacy repro.core vs the compiled measurement index)",
+    )
     parser.add_argument(
         "--scenario",
         action="append",
@@ -166,8 +396,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output",
         type=pathlib.Path,
-        default=DEFAULT_OUTPUT,
-        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT.name})",
+        default=None,
+        help="where to write the JSON report (default: "
+        f"{DEFAULT_OUTPUT.name} / {DEFAULT_ANALYSIS_OUTPUT.name} per suite)",
     )
     args = parser.parse_args(argv)
 
@@ -176,9 +407,21 @@ def main(argv: list[str] | None = None) -> int:
         scenarios = ["small", "standard", "large"]
     repeats = 1 if args.quick else max(1, args.repeats)
 
-    results = run_benchmarks(scenarios, args.workers, repeats)
+    if args.suite == "analysis":
+        if args.workers != [1]:
+            print(
+                "note: --workers applies only to the propagation suite; "
+                "the analysis suite ignores it",
+                file=sys.stderr,
+            )
+        results = run_analysis_benchmarks(scenarios, repeats)
+        output = args.output or DEFAULT_ANALYSIS_OUTPUT
+    else:
+        results = run_benchmarks(scenarios, args.workers, repeats)
+        output = args.output or DEFAULT_OUTPUT
     report = {
         "meta": {
+            "suite": args.suite,
             "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -188,8 +431,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "results": results,
     }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}", file=sys.stderr)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,1 @@
+"""Repository maintenance scripts (run with ``python -m scripts.<name>``)."""

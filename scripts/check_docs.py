@@ -1,0 +1,94 @@
+"""Documentation reference checker (``python -m scripts.check_docs``).
+
+Walks ``README.md`` and every Markdown file under ``docs/`` and verifies:
+
+* every dotted ``repro.*`` reference resolves — the longest importable
+  module prefix is imported and any remaining segments are resolved as
+  attributes (classes, functions, methods), so renaming a module or an
+  analyzer without updating the docs fails CI;
+* every relative Markdown link ``[text](path)`` points at a file or
+  directory that exists (anchors and absolute URLs are skipped).
+
+Exits non-zero listing every broken reference.  Pure standard library.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Dotted repro references, e.g. ``repro.analysis.engine.AnalysisEngine``.
+_REFERENCE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: Markdown inline links: ``[text](target)``.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_files() -> list[pathlib.Path]:
+    """README plus every Markdown file under docs/."""
+    files = [ROOT / "README.md"]
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def _resolve_reference(reference: str) -> bool:
+    """``True`` if a dotted ``repro.*`` name resolves to a module/attribute."""
+    segments = reference.split(".")
+    for cut in range(len(segments), 0, -1):
+        module_name = ".".join(segments[:cut])
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        target = module
+        try:
+            for attribute in segments[cut:]:
+                target = getattr(target, attribute)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def _check_file(path: pathlib.Path) -> list[str]:
+    """Every broken reference/link in one Markdown file, as messages."""
+    problems: list[str] = []
+    text = path.read_text()
+    relative = path.relative_to(ROOT)
+    for match in sorted(set(_REFERENCE.findall(text))):
+        if not _resolve_reference(match):
+            problems.append(f"{relative}: unresolvable reference {match!r}")
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{relative}: broken link {target!r}")
+    return problems
+
+
+def main() -> int:
+    """Check every doc file; print problems and return an exit status."""
+    problems: list[str] = []
+    files = _doc_files()
+    for path in files:
+        problems.extend(_check_file(path))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} doc file(s): all repro.* references and "
+          "relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

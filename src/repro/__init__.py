@@ -3,8 +3,8 @@ Internet Routing Policies" (IMC 2003).
 
 The front door is the **session API**: a staged, cacheable
 :class:`~repro.session.study.Study` (``topology -> policies -> propagation
--> observation -> irr``) with named scenario presets and a parallel
-experiment runner::
+-> observation -> irr -> analysis``) with named scenario presets and a
+parallel experiment runner::
 
     from repro.session import get_scenario, run_suite
 
@@ -31,6 +31,9 @@ The package is organised bottom-up:
   RPSL/IRR) and the flat :class:`~repro.data.dataset.StudyDataset` view.
 * :mod:`repro.session` — the staged Study pipeline, the content-addressed
   stage cache, scenario presets and the ``run_suite`` runner.
+* :mod:`repro.analysis` — the compiled columnar measurement index and the
+  one-pass analyzer engine the experiments query (the cached ``analysis``
+  stage).
 * :mod:`repro.core` — the paper's contribution: import-policy inference,
   SA-prefix (export-policy) inference, verification, cause attribution,
   persistence, peer-export and community-based relationship verification.

@@ -1,0 +1,38 @@
+"""Compiled measurement index and the one-pass analyzer engine.
+
+This package is the "compile once, query many" layer between the
+observation stage and the paper's analyses:
+
+* :mod:`repro.analysis.index` — :class:`MeasurementIndex` lowers the
+  collector table, the Looking Glass views and the IRR database into dense
+  columnar arrays with interned prefixes/AS paths and precomputed groupings.
+* :mod:`repro.analysis.engine` — :class:`AnalysisEngine` runs every
+  :mod:`repro.core` analysis as a one-pass query over the shared index,
+  with results identical to the legacy analyzers (golden equivalence suite
+  in ``tests/analysis/``).
+* :mod:`repro.analysis.persistence` — the snapshot-sharing fast path for
+  the Figs. 6/7 persistence study.
+
+The session layer exposes the engine as the cached ``ANALYSIS`` stage
+(``Stage.ANALYSIS`` / ``StageView.analysis``); experiments declare it in
+``requires`` and query the engine instead of re-walking raw tables.
+"""
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.index import GlassIndex, IrrRow, MeasurementIndex, TableIndex
+from repro.analysis.persistence import (
+    SnapshotSACore,
+    persistence_series,
+    uptime_distribution,
+)
+
+__all__ = [
+    "AnalysisEngine",
+    "GlassIndex",
+    "IrrRow",
+    "MeasurementIndex",
+    "SnapshotSACore",
+    "TableIndex",
+    "persistence_series",
+    "uptime_distribution",
+]

@@ -1,0 +1,988 @@
+"""One-pass analyzer engine over the compiled measurement index.
+
+:class:`AnalysisEngine` exposes every :mod:`repro.core` analysis — policy
+atoms, import-policy typicality (tables and IRR), LOCAL_PREF consistency,
+SA-prefix inference and verification, SA causes, peer export behaviour and
+community semantics — as queries over one shared
+:class:`~repro.analysis.index.MeasurementIndex`.
+
+The engine's contract is *result identity* with the legacy analyzers: for
+the same dataset, every query returns objects equal to what the
+corresponding :mod:`repro.core` class produces (the golden suite in
+``tests/analysis/test_engine_equivalence.py`` asserts this on all five
+registered scenarios).  The speed comes from three properties the legacy
+analyzers lack:
+
+* **Precomputed groupings** — collector rows grouped by prefix and by path
+  member AS turn the per-SA-prefix table scans of the Case-3 and Table-7
+  analyses (``entries_for_prefix``, ``paths_containing``) into list hops.
+* **Shared intermediates** — customer cones, customer paths, per-glass
+  sweeps, Gao-inferred graphs and SA reports are computed once and reused
+  by every downstream query instead of once per analyzer.
+* **Columnar loops** — the hot loops run over interned integer arrays, not
+  ``Route``/``ASPath`` object graphs.
+
+Queries are thread-safe (``run_suite`` workers share one engine); all
+memoisation happens under a single lock, while result objects are built
+outside it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from itertools import combinations
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.atoms import AtomStatistics, PolicyAtom, PolicyAtomAnalyzer
+from repro.core.causes import Case3Result, CauseAnalyzer, CauseBreakdown, HomingBreakdown
+from repro.core.community import (
+    CommunitySemantics,
+    CommunityVerificationResult,
+    NeighborSignature,
+    bucket_of,
+)
+from repro.core.consistency import ConsistencyResult
+from repro.core.export_policy import (
+    CustomerSAReport,
+    SAPrefix,
+    SAPrefixReport,
+)
+from repro.core.import_policy import (
+    IrrTypicalityResult,
+    TypicalityResult,
+    _TYPICAL_RANK,
+    _conforms,
+)
+from repro.core.peer_export import PeerBehaviour, PeerExportReport
+from repro.core.verification import SAVerificationResult
+from repro.data.rpsl import rpsl_pref_to_local_pref
+from repro.exceptions import InferenceError, SimulationError
+from repro.net.asn import ASN
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.topology.graph import AnnotatedASGraph, Relationship
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.index import MeasurementIndex
+    from repro.bgp.rib import LocRib
+    from repro.session.stages import AnalysisParameters
+    from repro.simulation.policies import CommunityPlan
+
+
+#: Sentinel default distinguishing "use the ground-truth prefix ownership"
+#: from an explicit ``None`` (which selects observed origins, like the
+#: legacy analyzer's ``originated=None`` branch).
+_GROUND_TRUTH_ORIGINATED: dict = {}
+
+
+class _GlassScan:
+    """Everything one sweep over a Looking Glass view's route rows yields.
+
+    Attributes:
+        neighbor_counts: per next-hop AS, the number of candidate routes it
+            announces, in first-seen order (Fig. 9's quantity).
+        community_votes: per next-hop AS, a vote counter over the glass AS's
+            own community tags on its routes.
+        consistency: per next-hop AS, a counter of LOCAL_PREF values over
+            its candidate routes (the Fig. 2 modal computation).
+        entry_observations: per RIB entry, the non-local ``(next hop,
+            LOCAL_PREF)`` pairs in route order (Table 2's raw material).
+    """
+
+    __slots__ = (
+        "neighbor_counts",
+        "community_votes",
+        "consistency",
+        "entry_observations",
+    )
+
+    def __init__(self) -> None:
+        """Start with empty accumulators; one sweep fills all of them."""
+        self.neighbor_counts: dict[ASN, int] = {}
+        self.community_votes: dict[ASN, Counter] = {}
+        self.consistency: dict[ASN, Counter] = {}
+        self.entry_observations: list[list[tuple[ASN, int]]] = []
+
+
+class AnalysisEngine:
+    """Runs the paper's analyses as one-pass queries over a measurement index.
+
+    Args:
+        index: the compiled :class:`~repro.analysis.index.MeasurementIndex`.
+        parameters: session-level analysis knobs; only
+            ``study_provider_count`` (how many Tier-1 providers the
+            SA-prefix studies cover) is consulted here.
+    """
+
+    #: Default number of studied providers (the paper's AS1/AS3549/AS7018).
+    DEFAULT_PROVIDER_COUNT = 3
+
+    def __init__(
+        self, index: "MeasurementIndex", parameters: "AnalysisParameters | None" = None
+    ) -> None:
+        """Wrap a compiled index; every memo table starts empty."""
+        self.index = index
+        self.graph: AnnotatedASGraph = index.graph
+        self.provider_count = (
+            parameters.study_provider_count
+            if parameters is not None
+            else self.DEFAULT_PROVIDER_COUNT
+        )
+        self._lock = threading.RLock()
+        self._cones: dict[ASN, set[ASN]] = {}
+        self._customer_paths: dict[tuple[ASN, ASN], tuple[ASN, ...] | None] = {}
+        self._sa_reports: dict[tuple[ASN, bool], SAPrefixReport] = {}
+        self._sa_report_maps: dict[int, dict[ASN, SAPrefixReport]] = {}
+        self._provider_tables: dict[int, dict[ASN, "LocRib"]] = {}
+        self._glass_scans: dict[ASN, _GlassScan] = {}
+        self._semantics: dict[ASN, CommunitySemantics] = {}
+        self._candidate_next_hops: dict[ASN, dict[Prefix, set[ASN]]] = {}
+        self._best_tries: dict[ASN, PrefixTrie] = {}
+        self._active_paths: dict[tuple[ASN, ...], bool] = {}
+        self._inferred_graph: AnnotatedASGraph | None = None
+        self._atoms: list[PolicyAtom] | None = None
+
+    # -- shared intermediates ----------------------------------------------------
+
+    def _cone(self, provider: ASN) -> set[ASN]:
+        """The provider's customer cone, computed once."""
+        with self._lock:
+            cone = self._cones.get(provider)
+        if cone is None:
+            cone = self.graph.customer_cone(provider)
+            with self._lock:
+                self._cones[provider] = cone
+        return cone
+
+    def _customer_path(self, provider: ASN, origin: ASN) -> tuple[ASN, ...] | None:
+        """One provider→customer path down to ``origin``, memoised."""
+        key = (provider, origin)
+        with self._lock:
+            if key in self._customer_paths:
+                return self._customer_paths[key]
+        path = self.graph.find_customer_path(provider, origin)
+        value = tuple(path) if path is not None else None
+        with self._lock:
+            self._customer_paths[key] = value
+        return value
+
+    def inferred_graph(self) -> AnnotatedASGraph:
+        """The Gao-inferred relationship graph over the collector's AS paths.
+
+        Computed once and shared by every verification/ablation query (the
+        legacy pipeline re-ran the inference per experiment).
+        """
+        with self._lock:
+            graph = self._inferred_graph
+        if graph is None:
+            from repro.relationships.gao import GaoInference
+
+            paths = [self.index.paths[i] for i in self.index.col_path]
+            graph = GaoInference().infer(paths).graph
+            with self._lock:
+                self._inferred_graph = graph
+        return graph
+
+    def providers_under_study(self, count: int | None = None) -> list[ASN]:
+        """The studied (largest Tier-1) providers."""
+        return self.index.providers_under_study(count or self.provider_count)
+
+    def provider_tables(self, count: int | None = None) -> dict[ASN, "LocRib"]:
+        """The studied providers' routing tables (legacy ``LocRib`` objects)."""
+        key = count or self.provider_count
+        with self._lock:
+            tables = self._provider_tables.get(key)
+        if tables is None:
+            tables = {
+                provider: self.index.result.table_of(provider)
+                for provider in self.providers_under_study(key)
+            }
+            with self._lock:
+                tables = self._provider_tables.setdefault(key, tables)
+        return tables
+
+    def tagging_asns(self) -> list[ASN]:
+        """Looking Glass ASes that tag routes with relationship communities."""
+        return self.index.tagging_asns()
+
+    # -- policy atoms (extension experiment) ---------------------------------------
+
+    def atoms(self) -> list[PolicyAtom]:
+        """Policy atoms of the collector table, largest first."""
+        with self._lock:
+            if self._atoms is not None:
+                return self._atoms
+        idx = self.index
+        vectors: dict[int, dict[ASN, int]] = {}
+        col_prefix, col_vantage, col_path = idx.col_prefix, idx.col_vantage, idx.col_path
+        for row in range(len(col_prefix)):
+            vectors.setdefault(col_prefix[row], {})[col_vantage[row]] = col_path[row]
+        atoms: dict[tuple[tuple[ASN, int], ...], PolicyAtom] = {}
+        for pid, by_vantage in vectors.items():
+            signature_ids = tuple(sorted(by_vantage.items()))
+            atom = atoms.get(signature_ids)
+            if atom is None:
+                atom = PolicyAtom(
+                    signature=tuple(
+                        (vantage, idx.paths[path_id])
+                        for vantage, path_id in signature_ids
+                    )
+                )
+                atoms[signature_ids] = atom
+            atom.prefixes.append(idx.prefixes[pid])
+            if by_vantage:
+                atom.origin_ases.add(idx.path_origin[next(iter(by_vantage.values()))])
+        result = list(atoms.values())
+        result.sort(key=lambda atom: atom.size, reverse=True)
+        with self._lock:
+            self._atoms = result
+        return result
+
+    def atom_statistics(
+        self, atoms: list[PolicyAtom] | None = None, sa_prefixes: set[Prefix] | None = None
+    ) -> AtomStatistics:
+        """Summary statistics of an atom decomposition."""
+        return PolicyAtomAnalyzer().statistics(
+            atoms if atoms is not None else self.atoms(), sa_prefixes=sa_prefixes
+        )
+
+    # -- Looking Glass sweeps ----------------------------------------------------
+
+    def _glass_scan(self, asn: ASN) -> _GlassScan:
+        """One combined sweep over a glass's route rows, cached per glass."""
+        with self._lock:
+            scan = self._glass_scans.get(asn)
+        if scan is not None:
+            return scan
+        view = self.index.glasses[asn]
+        scan = _GlassScan()
+        next_hop = view.route_next_hop
+        local_pref = view.route_local_pref
+        is_local = view.route_is_local
+        own = view.route_own_communities
+        offsets = view.entry_offsets
+        counts = scan.neighbor_counts
+        votes = scan.community_votes
+        consistency = scan.consistency
+        for entry_index in range(view.entry_count):
+            observations: list[tuple[ASN, int]] = []
+            for row in range(offsets[entry_index], offsets[entry_index + 1]):
+                if is_local[row]:
+                    continue
+                neighbor = next_hop[row]
+                pref = local_pref[row]
+                counts[neighbor] = counts.get(neighbor, 0) + 1
+                tags = own[row]
+                if tags:
+                    neighbor_votes = votes.get(neighbor)
+                    if neighbor_votes is None:
+                        neighbor_votes = votes[neighbor] = Counter()
+                    for community in tags:
+                        neighbor_votes[community] += 1
+                per_neighbor = consistency.get(neighbor)
+                if per_neighbor is None:
+                    per_neighbor = consistency[neighbor] = Counter()
+                per_neighbor[pref] += 1
+                observations.append((neighbor, pref))
+            scan.entry_observations.append(observations)
+        with self._lock:
+            self._glass_scans[asn] = scan
+        return scan
+
+    # -- import policy (Tables 2 and 3) ---------------------------------------------
+
+    def import_typicality(
+        self, relationships: AnnotatedASGraph | None = None
+    ) -> list[TypicalityResult]:
+        """Table 2: typical-LOCAL_PREF statistics for every Looking Glass AS."""
+        relationships = relationships if relationships is not None else self.graph
+        return [
+            self._import_typicality_one(asn, relationships)
+            for asn in self.index.looking_glass_ases
+        ]
+
+    def _import_typicality_one(
+        self, asn: ASN, relationships: AnnotatedASGraph
+    ) -> TypicalityResult:
+        """The Table 2 row of one Looking Glass AS."""
+        view = self.index.glasses[asn]
+        scan = self._glass_scan(asn)
+        relationship_of = relationships.relationship
+        result = TypicalityResult(asn=asn)
+        for entry_index, raw in enumerate(scan.entry_observations):
+            observations: list[tuple[Relationship, int]] = []
+            for neighbor, pref in raw:
+                relationship = relationship_of(asn, neighbor)
+                if relationship is None:
+                    continue
+                observations.append((relationship, pref))
+            if len({relationship for relationship, _ in observations}) < 2:
+                continue
+            result.comparable_prefixes += 1
+            if all(
+                _conforms(rel_a, pref_a, rel_b, pref_b)
+                for (rel_a, pref_a), (rel_b, pref_b) in combinations(observations, 2)
+            ):
+                result.typical_prefixes += 1
+            elif len(result.atypical_examples) < 10:
+                result.atypical_examples.append(
+                    self.index.prefixes[view.entry_prefix[entry_index]]
+                )
+        return result
+
+    def irr_typicality(
+        self,
+        min_neighbors: int = 10,
+        updated_during: str | None = "2002",
+        relationships: AnnotatedASGraph | None = None,
+    ) -> list[IrrTypicalityResult]:
+        """Table 3: typical-LOCAL_PREF statistics from the IRR rows."""
+        if min_neighbors < 2:
+            raise InferenceError("min_neighbors must be at least 2")
+        relationships = relationships if relationships is not None else self.graph
+        relationship_of = relationships.relationship
+        results: list[IrrTypicalityResult] = []
+        for row in self.index.irr_rows:
+            if updated_during is not None and not row.last_updated.startswith(
+                updated_during
+            ):
+                continue
+            observations: list[tuple[Relationship, int]] = []
+            for peer, pref in row.imports:
+                if pref is None:
+                    continue
+                relationship = relationship_of(row.asn, peer)
+                if relationship is None:
+                    continue
+                observations.append((relationship, rpsl_pref_to_local_pref(pref)))
+            if len(observations) < min_neighbors:
+                continue
+            result = IrrTypicalityResult(asn=row.asn, neighbor_count=len(observations))
+            for (rel_a, pref_a), (rel_b, pref_b) in combinations(observations, 2):
+                if _TYPICAL_RANK[rel_a] == _TYPICAL_RANK[rel_b]:
+                    continue
+                result.comparable_pairs += 1
+                if _conforms(rel_a, pref_a, rel_b, pref_b):
+                    result.typical_pairs += 1
+            if result.comparable_pairs > 0:
+                results.append(result)
+        return results
+
+    # -- LOCAL_PREF consistency (Fig. 2) ----------------------------------------------
+
+    def consistency_by_as(self) -> list[ConsistencyResult]:
+        """Fig. 2(a): next-hop consistency of every Looking Glass AS."""
+        return [
+            self._consistency_result(asn, self._glass_scan(asn).consistency, 0)
+            for asn in self.index.looking_glass_ases
+        ]
+
+    @staticmethod
+    def _consistency_result(
+        asn: ASN, per_neighbor: dict[ASN, Counter], router_id: int
+    ) -> ConsistencyResult:
+        """Fold per-neighbor LOCAL_PREF counters into a consistency result."""
+        result = ConsistencyResult(asn=asn, router_id=router_id)
+        for neighbor, counts in per_neighbor.items():
+            mode_value, mode_count = counts.most_common(1)[0]
+            result.neighbor_modes[neighbor] = mode_value
+            result.total_routes += sum(counts.values())
+            result.consistent_routes += mode_count
+        return result
+
+    def glass_neighbors(self, asn: ASN) -> list[ASN]:
+        """Every next-hop AS visible in a Looking Glass table, sorted.
+
+        Mirrors ``LookingGlass.neighbors()`` (which excludes the owner but
+        counts next hops of every candidate route, local or not).
+        """
+        view = self.index.glasses[asn]
+        return sorted(
+            {neighbor for neighbor in view.route_next_hop if neighbor != asn}
+        )
+
+    def biggest_glass_asn(self) -> ASN:
+        """The Looking Glass AS with the most prefixes (Fig. 2(b)'s AT&T role)."""
+        return max(
+            self.index.looking_glass_ases,
+            key=lambda asn: self.index.glasses[asn].entry_count,
+        )
+
+    def consistency_by_router(
+        self,
+        asn: ASN | None = None,
+        router_count: int = 30,
+        per_prefix_override_fraction: float = 0.05,
+        seed: int = 7,
+    ) -> list[ConsistencyResult]:
+        """Fig. 2(b): per-router consistency inside one AS.
+
+        Replays the Looking Glass's synthetic router-view construction —
+        same RNG draw sequence, same per-prefix overrides — directly over
+        the best-route columns, without materialising the 30 ``LocRib``
+        copies the legacy path builds.
+        """
+        if router_count < 1:
+            raise SimulationError("router_count must be at least 1")
+        if not (0.0 <= per_prefix_override_fraction <= 1.0):
+            raise SimulationError("per_prefix_override_fraction must be a probability")
+        if asn is None:
+            asn = self.biggest_glass_asn()
+        view = self.index.glasses[asn]
+        rng = random.Random(seed)
+        override_choices = (80, 85, 95, 115, 120)
+        results: list[ConsistencyResult] = []
+        next_hop = view.best_next_hop
+        local_pref = view.best_local_pref
+        is_local = view.best_is_local
+        for router_id in range(1, router_count + 1):
+            per_neighbor: dict[ASN, Counter] = {}
+            for row in range(len(next_hop)):
+                # The RNG is consumed for every best route — local ones
+                # included — exactly like LookingGlass.router_views.
+                if rng.random() < per_prefix_override_fraction:
+                    pref = rng.choice(override_choices)
+                else:
+                    pref = local_pref[row]
+                if is_local[row]:
+                    continue
+                neighbor = next_hop[row]
+                counts = per_neighbor.get(neighbor)
+                if counts is None:
+                    counts = per_neighbor[neighbor] = Counter()
+                counts[pref] += 1
+            results.append(self._consistency_result(asn, per_neighbor, router_id))
+        return results
+
+    # -- export policy: SA prefixes (Fig. 4, Tables 5 and 6) ----------------------------
+
+    def sa_report(
+        self, provider: ASN, *, with_known_prefixes: bool = True
+    ) -> SAPrefixReport:
+        """The Fig. 4 SA-prefix report of one provider, cached.
+
+        Args:
+            provider: the provider AS whose table is classified.
+            with_known_prefixes: when true (the experiments' configuration),
+                the ground-truth prefix ownership is consulted to count
+                customer prefixes missing from the table entirely.
+        """
+        key = (provider, with_known_prefixes)
+        with self._lock:
+            report = self._sa_reports.get(key)
+        if report is not None:
+            return report
+        report = self._compute_sa_report(provider, with_known_prefixes)
+        with self._lock:
+            self._sa_reports[key] = report
+        return report
+
+    def _compute_sa_report(
+        self, provider: ASN, with_known_prefixes: bool
+    ) -> SAPrefixReport:
+        """Run the Fig. 4 algorithm over one provider's best-route columns."""
+        if provider not in self.graph:
+            raise InferenceError(f"AS{provider} is not in the relationship graph")
+        idx = self.index
+        view = idx.tables[provider]
+        cone = self._cone(provider)
+        relationship_of = self.graph.relationship
+        report = SAPrefixReport(provider=provider)
+        origins, next_hops = view.best_origin, view.best_next_hop
+        pids, is_local = view.best_prefix, view.best_is_local
+        for row in range(view.best_count):
+            if is_local[row]:
+                continue
+            origin = origins[row]
+            if origin not in cone:
+                continue
+            report.customer_prefix_count += 1
+            pid = pids[row]
+            next_hop = next_hops[row]
+            relationship = relationship_of(provider, next_hop)
+            if relationship is Relationship.CUSTOMER:
+                report.customer_route_prefix_count += 1
+                continue
+            customer_path = self._customer_path(provider, origin)
+            report.sa_prefixes.append(
+                SAPrefix(
+                    prefix=idx.prefixes[pid],
+                    origin_as=origin,
+                    next_hop_as=next_hop,
+                    next_hop_relationship=relationship,
+                    best_route=view.best_route[row],
+                    customer_path=list(customer_path) if customer_path else [],
+                )
+            )
+        if with_known_prefixes:
+            # A prefix is missing when the provider's table has no best
+            # route for it: either it was never observed anywhere (no
+            # interned id) or it has no row in this table.  (The legacy
+            # `prefix not in seen_prefixes` guard is implied: every seen
+            # prefix has a best-route row.)
+            for origin, prefixes in idx.internet.originated.items():
+                if origin not in cone:
+                    continue
+                for prefix in prefixes:
+                    pid = idx.prefix_ids.get(prefix)
+                    if pid is None or pid not in view.row_of_prefix:
+                        report.missing_prefix_count += 1
+        return report
+
+    def sa_reports(self, count: int | None = None) -> dict[ASN, SAPrefixReport]:
+        """SA-prefix reports of the studied providers (Table 5's core rows)."""
+        key = count or self.provider_count
+        with self._lock:
+            reports = self._sa_report_maps.get(key)
+        if reports is None:
+            reports = {
+                provider: self.sa_report(provider)
+                for provider in self.providers_under_study(key)
+            }
+            with self._lock:
+                reports = self._sa_report_maps.setdefault(key, reports)
+        return reports
+
+    def all_provider_reports(self) -> dict[ASN, SAPrefixReport]:
+        """SA-prefix reports for every observed AS with customers (Table 5)."""
+        customers_of = self.graph.customers_of
+        return {
+            asn: self.sa_report(asn)
+            for asn in self.index.tables
+            if customers_of(asn)
+        }
+
+    def customer_sa_reports(self, min_prefixes: int = 3) -> list[CustomerSAReport]:
+        """Table 6: customers shared by all studied providers, by SA count."""
+        reports = self.sa_reports()
+        providers = sorted(reports)
+        if not providers:
+            return []
+        cones = [self._cone(provider) for provider in providers]
+        shared_customers = set.intersection(*cones) if cones else set()
+
+        originated: dict[ASN, set[int]] = {}
+        for provider in self.providers_under_study():
+            view = self.index.tables[provider]
+            for row in range(view.best_count):
+                if view.best_is_local[row]:
+                    continue
+                originated.setdefault(view.best_origin[row], set()).add(
+                    view.best_prefix[row]
+                )
+
+        sa_pids: set[int] = set()
+        for report in reports.values():
+            for item in report.sa_prefixes:
+                pid = self.index.prefix_ids.get(item.prefix)
+                if pid is not None:
+                    sa_pids.add(pid)
+
+        results: list[CustomerSAReport] = []
+        for customer in sorted(shared_customers):
+            pids = originated.get(customer, set())
+            if len(pids) < min_prefixes:
+                continue
+            results.append(
+                CustomerSAReport(
+                    customer=customer,
+                    prefix_count=len(pids),
+                    sa_prefix_count=sum(1 for pid in pids if pid in sa_pids),
+                )
+            )
+        results.sort(key=lambda row: row.sa_prefix_count, reverse=True)
+        return results
+
+    # -- export policy toward peers (Table 10) ---------------------------------------
+
+    def _candidates(self, asn: ASN) -> dict[Prefix, set[ASN]]:
+        """Per prefix, the non-local candidate next hops in an AS's table."""
+        with self._lock:
+            cached = self._candidate_next_hops.get(asn)
+        if cached is not None:
+            return cached
+        table = self.index.result.table_of(asn)
+        candidates: dict[Prefix, set[ASN]] = {}
+        for entry in table.entries():
+            hops = candidates.setdefault(entry.prefix, set())
+            for route in entry.routes:
+                if not route.is_local:
+                    hops.add(route.next_hop_as)
+        with self._lock:
+            self._candidate_next_hops[asn] = candidates
+        return candidates
+
+    def peer_export_report(
+        self,
+        asn: ASN,
+        originated: dict[ASN, list[Prefix]] | None = _GROUND_TRUTH_ORIGINATED,
+        full_export_threshold: float = 1.0,
+    ) -> PeerExportReport:
+        """Table 10: how the AS's peers announce their own prefixes to it.
+
+        ``originated`` defaults to the ground-truth prefix ownership (what
+        the experiments pass); an explicit ``None`` falls back to the origins
+        observed in the table, mirroring the legacy analyzer.
+        """
+        idx = self.index
+        if originated is _GROUND_TRUTH_ORIGINATED:
+            originated = idx.internet.originated
+        report = PeerExportReport(asn=asn, full_export_threshold=full_export_threshold)
+        peers = [
+            neighbor
+            for neighbor in self.graph.neighbors(asn)
+            if self.graph.relationship(asn, neighbor) is Relationship.PEER
+        ]
+        candidates = self._candidates(asn)
+        view = idx.tables[asn]
+        for peer in sorted(peers):
+            if originated is not None:
+                peer_prefixes = list(originated.get(peer, []))
+            else:
+                peer_prefixes = [
+                    idx.prefixes[view.best_prefix[row]]
+                    for row in range(view.best_count)
+                    if view.best_origin[row] == peer
+                ]
+            if not peer_prefixes:
+                continue
+            behaviour = PeerBehaviour(peer=peer, originated_prefixes=len(peer_prefixes))
+            for prefix in peer_prefixes:
+                if peer in candidates.get(prefix, ()):
+                    behaviour.directly_received += 1
+            report.peers.append(behaviour)
+        return report
+
+    def peer_export_reports(
+        self,
+        originated: dict[ASN, list[Prefix]] | None = _GROUND_TRUTH_ORIGINATED,
+        full_export_threshold: float = 1.0,
+    ) -> dict[ASN, PeerExportReport]:
+        """Table 10 for every studied provider."""
+        return {
+            asn: self.peer_export_report(asn, originated, full_export_threshold)
+            for asn in self.providers_under_study()
+        }
+
+    # -- causes of SA prefixes (Tables 8 and 9, Case 3) -------------------------------
+
+    def homing_breakdown(self, provider: ASN) -> HomingBreakdown:
+        """Table 8: homing of the provider's SA-prefix origins."""
+        return CauseAnalyzer(self.graph).homing_breakdown(self.sa_report(provider))
+
+    def _best_trie(self, provider: ASN) -> PrefixTrie:
+        """A radix trie over the provider's best routes, built once."""
+        with self._lock:
+            trie = self._best_tries.get(provider)
+        if trie is not None:
+            return trie
+        trie = PrefixTrie()
+        view = self.index.tables[provider]
+        for row in range(view.best_count):
+            trie.insert(self.index.prefixes[view.best_prefix[row]], view.best_route[row])
+        with self._lock:
+            self._best_tries[provider] = trie
+        return trie
+
+    def cause_breakdown(self, provider: ASN) -> CauseBreakdown:
+        """Table 9: SA prefixes explained by splitting / aggregating / selective."""
+        report = self.sa_report(provider)
+        trie = self._best_trie(provider)
+        relationship_of = self.graph.relationship
+        breakdown = CauseBreakdown(
+            provider=provider, sa_prefix_count=report.sa_prefix_count
+        )
+        for item in report.sa_prefixes:
+            is_splitting = False
+            for other_prefix, other_route in (
+                *trie.covering(item.prefix),
+                *trie.covered(item.prefix),
+            ):
+                if other_prefix == item.prefix:
+                    continue
+                if other_route.origin_as != item.origin_as:
+                    continue
+                if (
+                    relationship_of(provider, other_route.next_hop_as)
+                    is Relationship.CUSTOMER
+                ):
+                    is_splitting = True
+                    break
+            is_aggregating = any(
+                covering_prefix.length < item.prefix.length
+                for covering_prefix, _ in trie.covering(item.prefix)
+            )
+            if is_splitting:
+                breakdown.splitting_count += 1
+            if is_aggregating:
+                breakdown.aggregating_count += 1
+            if not is_splitting and not is_aggregating:
+                breakdown.selective_count += 1
+        return breakdown
+
+    def case3(self, provider: ASN) -> Case3Result:
+        """Section 5.1.5 Case 3 for one provider, via the by-prefix grouping."""
+        idx = self.index
+        report = self.sa_report(provider)
+        result = Case3Result(
+            provider=provider, sa_prefix_count=report.sa_prefix_count
+        )
+        for item in report.sa_prefixes:
+            if not item.customer_path or len(item.customer_path) < 2:
+                continue
+            direct_provider = item.customer_path[-2]
+            pid = idx.prefix_ids.get(item.prefix)
+            rows = idx.rows_by_prefix.get(pid, []) if pid is not None else []
+            observed_paths = [idx.collapsed[idx.col_path[row]] for row in rows]
+            if not observed_paths:
+                continue
+            result.identified_count += 1
+            exported = any(
+                origin_index > 0 and path[origin_index - 1] == direct_provider
+                for path in observed_paths
+                for origin_index in [len(path) - 1]
+                if path and path[-1] == item.origin_as
+            )
+            if exported:
+                result.exported_to_direct_provider += 1
+            else:
+                result.not_exported_to_direct_provider += 1
+        return result
+
+    # -- community semantics (Appendix, Fig. 9, Tables 4 and 11) ------------------------
+
+    def prefix_counts_by_rank(self, asn: ASN) -> list[tuple[ASN, int]]:
+        """Fig. 9: (next-hop AS, prefix count) sorted by non-increasing count."""
+        counts = self._glass_scan(asn).neighbor_counts
+        return sorted(counts.items(), key=lambda item: item[1], reverse=True)
+
+    def neighbor_signatures(self, asn: ASN) -> dict[ASN, NeighborSignature]:
+        """Each neighbor's prefix count and dominant tagged community."""
+        scan = self._glass_scan(asn)
+        signatures: dict[ASN, NeighborSignature] = {}
+        for neighbor, count in scan.neighbor_counts.items():
+            votes = scan.community_votes.get(neighbor)
+            community = votes.most_common(1)[0][0] if votes else None
+            signatures[neighbor] = NeighborSignature(
+                neighbor=neighbor, prefix_count=count, community=community
+            )
+        return signatures
+
+    def infer_semantics(
+        self,
+        asn: ASN,
+        published_plan: "CommunityPlan | None" = None,
+        has_providers: bool | None = None,
+        full_table_fraction: float = 0.8,
+        customer_prefix_threshold: int = 3,
+    ) -> CommunitySemantics:
+        """Infer what each community value range means for one tagging AS.
+
+        Mirrors :meth:`repro.core.community.CommunityAnalyzer.infer_semantics`
+        (default parameters) over the cached per-glass sweep; the
+        default-parameter result is memoised per AS.
+        """
+        cacheable = (
+            published_plan is None
+            and has_providers is None
+            and full_table_fraction == 0.8
+            and customer_prefix_threshold == 3
+        )
+        if cacheable:
+            with self._lock:
+                cached = self._semantics.get(asn)
+            if cached is not None:
+                return cached
+        semantics = CommunitySemantics(asn=asn)
+        semantics.signatures = self.neighbor_signatures(asn)
+        if not semantics.signatures:
+            return semantics
+        if published_plan is not None:
+            for signature in semantics.signatures.values():
+                if signature.community is None:
+                    continue
+                relationship = published_plan.relationship_of(signature.community)
+                if relationship is not None:
+                    semantics.value_to_relationship[bucket_of(signature.community)] = (
+                        relationship
+                    )
+            return semantics
+
+        total_prefixes = self.index.glasses[asn].entry_count
+        ranked = sorted(
+            semantics.signatures.values(), key=lambda s: s.prefix_count, reverse=True
+        )
+        provider_anchors = [
+            s for s in ranked if s.prefix_count >= full_table_fraction * total_prefixes
+        ]
+        if has_providers is None:
+            has_providers = bool(provider_anchors)
+        customer_anchors = [
+            s for s in ranked if s.prefix_count <= customer_prefix_threshold
+        ]
+        peer_floor = max(customer_prefix_threshold * 4, int(0.02 * total_prefixes))
+        non_provider = [s for s in ranked if s not in provider_anchors]
+        peer_candidates = [s for s in non_provider if s.prefix_count >= peer_floor]
+        peer_anchors = (
+            peer_candidates[: max(1, len(peer_candidates) // 3)] if peer_candidates else []
+        )
+        for anchor_set, relationship in (
+            (provider_anchors if has_providers else [], Relationship.PROVIDER),
+            (peer_anchors, Relationship.PEER),
+            (customer_anchors, Relationship.CUSTOMER),
+        ):
+            for signature in anchor_set:
+                if signature.community is None:
+                    continue
+                bucket = bucket_of(signature.community)
+                if bucket not in semantics.value_to_relationship:
+                    semantics.value_to_relationship[bucket] = relationship
+                    semantics.anchors[signature.neighbor] = relationship
+        if cacheable:
+            with self._lock:
+                self._semantics[asn] = semantics
+        return semantics
+
+    def verify_relationships(
+        self,
+        relationships: AnnotatedASGraph | None = None,
+        published_plans: dict[ASN, "CommunityPlan"] | None = None,
+    ) -> list[CommunityVerificationResult]:
+        """Table 4: verify each tagging AS's relationships via communities.
+
+        Defaults to the Gao-inferred graph, like the paper (it verifies
+        *inferred* relationships).
+        """
+        relationships = (
+            relationships if relationships is not None else self.inferred_graph()
+        )
+        published_plans = published_plans or {}
+        results: list[CommunityVerificationResult] = []
+        for asn in self.tagging_asns():
+            semantics = self.infer_semantics(
+                asn, published_plan=published_plans.get(asn)
+            )
+            if not semantics.value_to_relationship:
+                continue
+            result = CommunityVerificationResult(asn=asn)
+            for neighbor, signature in semantics.signatures.items():
+                result.neighbor_count += 1
+                derived = semantics.relationship_for_neighbor(neighbor)
+                if derived is None:
+                    continue
+                graph_relationship = relationships.relationship(asn, neighbor)
+                if graph_relationship is None:
+                    continue
+                result.verifiable_neighbors += 1
+                if graph_relationship is derived or (
+                    graph_relationship is Relationship.SIBLING
+                    and derived is Relationship.CUSTOMER
+                ):
+                    result.verified_neighbors += 1
+                else:
+                    result.mismatches.append(neighbor)
+            results.append(result)
+        return results
+
+    # -- SA-prefix verification (Table 7) ----------------------------------------------
+
+    def _customer_path_is_active(self, path: tuple[ASN, ...]) -> bool:
+        """Whether a customer path is traversed by observed routes, memoised."""
+        with self._lock:
+            cached = self._active_paths.get(path)
+        if cached is not None:
+            return cached
+        idx = self.index
+        needles = [path, path[1:]] if len(path) > 2 else [path]
+        active = False
+        for row in idx.rows_by_member.get(path[-1], ()):
+            collapsed = idx.collapsed[idx.col_path[row]]
+            for needle in needles:
+                if not needle:
+                    continue
+                width = len(needle)
+                for start in range(len(collapsed) - width + 1):
+                    if collapsed[start : start + width] == needle:
+                        active = True
+                        break
+                if active:
+                    break
+            if active:
+                break
+        if not active:
+            pairs = (
+                list(zip(path[1:], path[2:]))
+                if len(path) > 2
+                else list(zip(path, path[1:]))
+            )
+            active = bool(pairs) and all(pair in idx.adjacency for pair in pairs)
+        with self._lock:
+            self._active_paths[path] = active
+        return active
+
+    def verify_sa_report(
+        self,
+        report: SAPrefixReport,
+        verified_neighbor_ases: set[ASN] | None = None,
+    ) -> SAVerificationResult:
+        """Table 7: verify one provider's SA prefixes against observed paths."""
+        result = SAVerificationResult(provider=report.provider)
+        provider = report.provider
+        relationship_of = self.graph.relationship
+        for item in report.sa_prefixes:
+            result.sa_prefix_count += 1
+            step1_ok = item.next_hop_relationship is not None
+            if verified_neighbor_ases is not None:
+                step1_ok = step1_ok and item.next_hop_as in verified_neighbor_ases
+            if not step1_ok:
+                result.step1_failures += 1
+                continue
+            if not item.customer_path:
+                result.step2_failures += 1
+                continue
+            if len(item.customer_path) == 2:
+                step2_ok = (
+                    relationship_of(provider, item.origin_as) is Relationship.CUSTOMER
+                )
+                if verified_neighbor_ases is not None:
+                    step2_ok = step2_ok and item.origin_as in verified_neighbor_ases
+            else:
+                step2_ok = self._customer_path_is_active(tuple(item.customer_path))
+            if step2_ok:
+                result.verified_count += 1
+            else:
+                result.step2_failures += 1
+        return result
+
+    def verify_sa_prefixes(
+        self,
+        reports: dict[ASN, SAPrefixReport] | None = None,
+        verified_neighbor_ases: dict[ASN, set[ASN]] | None = None,
+    ) -> dict[ASN, SAVerificationResult]:
+        """Table 7 for several providers (defaults to the studied ones)."""
+        reports = reports if reports is not None else self.sa_reports()
+        verified_neighbor_ases = verified_neighbor_ases or {}
+        return {
+            provider: self.verify_sa_report(
+                report, verified_neighbor_ases.get(provider)
+            )
+            for provider, report in reports.items()
+        }
+
+    # -- ablation support ---------------------------------------------------------
+
+    def strict_sa_count(self, provider: ASN) -> int:
+        """SA prefixes with *no* customer candidate route at all (ablation)."""
+        candidates = self._candidates(provider)
+        relationship_of = self.graph.relationship
+        report = self.sa_report(provider)
+        strict = 0
+        for item in report.sa_prefixes:
+            hops: Iterable[ASN] = candidates.get(item.prefix, ())
+            if not any(
+                relationship_of(provider, hop) is Relationship.CUSTOMER for hop in hops
+            ):
+                strict += 1
+        return strict

@@ -1,0 +1,332 @@
+"""The compiled measurement index: observation artifacts as columnar arrays.
+
+The paper's analyses (Tables 2-11, Figs. 2-9) are repeated scans over the
+same three observed artifacts — the RouteViews-style collector table, the
+Looking Glass views and the IRR database — sliced per AS, per prefix and per
+neighbor.  The legacy :mod:`repro.core` analyzers re-walk the Python object
+graph (``CollectorTable`` entries, ``LocRib`` tries, ``Route`` dataclasses)
+once per analysis, which makes the analyzer pass the dominant wall-clock
+cost once propagation itself is fast.
+
+:class:`MeasurementIndex` lowers the observation stage *once* into dense
+columns keyed by interned integer ids:
+
+* **Interners** — every :class:`~repro.net.prefix.Prefix` and
+  :class:`~repro.net.aspath.ASPath` is assigned a small integer id; path ids
+  come with a precomputed collapsed (deduplicated) AS tuple and origin AS.
+* **Collector columns** — one row per collector entry, in entry order:
+  ``(vantage, prefix id, path id)`` plus inverted groupings by prefix and by
+  path member AS, and the observed adjacency set (consecutive AS pairs).
+* **Looking Glass columns** — per glass, one row per candidate route in
+  table-iteration order: next-hop AS, LOCAL_PREF, locality, and the glass's
+  own community tags, plus per-entry offsets and best-route columns.
+* **Table columns** — per observed AS, the best-route rows (prefix id,
+  origin, next hop, locality, the route object) in table order.
+* **IRR rows** — per registered object: AS, last-update stamp and the
+  ``(peer AS, pref)`` import pairs.
+
+The index holds references to the source artifacts (graph, collector,
+tables) so engine queries that need exact legacy semantics — radix-trie
+covering/covered walks, route object identity in reports — can reach them,
+but every hot loop in :class:`~repro.analysis.engine.AnalysisEngine` runs
+over the integer columns.  Build it with :meth:`MeasurementIndex.from_dataset`
+or through the session layer's ``ANALYSIS`` stage.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.net.asn import ASN
+from repro.net.aspath import ASPath
+from repro.net.prefix import Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bgp.attributes import Community
+    from repro.bgp.route import Route
+    from repro.data.dataset import StudyDataset
+
+
+@dataclass
+class GlassIndex:
+    """Columnar view of one Looking Glass table.
+
+    Route rows follow the exact iteration order of the legacy analyzers
+    (``for entry in table.entries(): for route in entry.routes``), so
+    one-pass queries reproduce legacy tie-breaking (e.g. ``Counter``
+    insertion order) bit for bit.
+
+    Attributes:
+        asn: the Looking Glass AS.
+        entry_prefix: prefix id per RIB entry, in table-iteration order.
+        entry_offsets: per entry, the start offset into the route columns;
+            one trailing sentinel equal to the route-row count.
+        route_next_hop: next-hop AS per candidate route row.
+        route_local_pref: LOCAL_PREF per candidate route row.
+        route_is_local: 1 for locally-originated route rows, else 0.
+        route_own_communities: the glass AS's own community tags per route
+            row, in the route's set-iteration order.
+        best_next_hop: next-hop AS per best route, in best-route order.
+        best_local_pref: LOCAL_PREF per best route.
+        best_is_local: 1 for locally-originated best routes, else 0.
+    """
+
+    asn: ASN
+    entry_prefix: array = field(default_factory=lambda: array("q"))
+    entry_offsets: array = field(default_factory=lambda: array("q"))
+    route_next_hop: array = field(default_factory=lambda: array("q"))
+    route_local_pref: array = field(default_factory=lambda: array("q"))
+    route_is_local: bytearray = field(default_factory=bytearray)
+    route_own_communities: list[tuple["Community", ...]] = field(default_factory=list)
+    best_next_hop: array = field(default_factory=lambda: array("q"))
+    best_local_pref: array = field(default_factory=lambda: array("q"))
+    best_is_local: bytearray = field(default_factory=bytearray)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of RIB entries (prefixes) in the table."""
+        return len(self.entry_prefix)
+
+    @property
+    def route_count(self) -> int:
+        """Number of candidate route rows in the table."""
+        return len(self.route_next_hop)
+
+
+@dataclass
+class TableIndex:
+    """Columnar best-route view of one observed AS's routing table.
+
+    Attributes:
+        owner: the table's AS.
+        best_prefix: prefix id per best route, in table-iteration order.
+        best_origin: origin AS per best route.
+        best_next_hop: next-hop AS per best route.
+        best_is_local: 1 for locally-originated best routes, else 0.
+        best_route: the selected :class:`~repro.bgp.route.Route` objects
+            (kept so reports carry the same objects the legacy analyzers do).
+        row_of_prefix: prefix id → row index into the best-route columns.
+    """
+
+    owner: ASN
+    best_prefix: array = field(default_factory=lambda: array("q"))
+    best_origin: array = field(default_factory=lambda: array("q"))
+    best_next_hop: array = field(default_factory=lambda: array("q"))
+    best_is_local: bytearray = field(default_factory=bytearray)
+    best_route: list["Route"] = field(default_factory=list)
+    row_of_prefix: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def best_count(self) -> int:
+        """Number of best-route rows."""
+        return len(self.best_prefix)
+
+
+@dataclass
+class IrrRow:
+    """One IRR aut-num object lowered to plain tuples.
+
+    Attributes:
+        asn: the registered AS.
+        last_updated: the object's ``changed:`` date stamp.
+        imports: ``(peer AS, RPSL pref or None)`` per import line, in line
+            order.
+    """
+
+    asn: ASN
+    last_updated: str
+    imports: tuple[tuple[ASN, int | None], ...]
+
+
+class MeasurementIndex:
+    """The compiled, shared index over one study's observation artifacts.
+
+    Build once per dataset (the session layer's ``ANALYSIS`` stage caches
+    it), query many times through
+    :class:`~repro.analysis.engine.AnalysisEngine`.
+    """
+
+    def __init__(self, dataset: "StudyDataset") -> None:
+        """Lower a study dataset's observation artifacts into columns.
+
+        Args:
+            dataset: the assembled study dataset (flat view); the index
+                keeps references to its graph, collector, tables and IRR.
+        """
+        self.dataset = dataset
+        self.graph = dataset.ground_truth_graph
+        self.internet = dataset.internet
+        self.collector = dataset.collector
+        self.looking_glasses = dict(dataset.looking_glasses)
+        self.result = dataset.result
+        self.assignment = dataset.assignment
+        self.irr = dataset.irr
+        self.looking_glass_ases = list(dataset.looking_glass_ases)
+        self.vantage_ases = list(dataset.vantage_ases)
+
+        # -- interners -------------------------------------------------------
+        self.prefixes: list[Prefix] = []
+        self.prefix_ids: dict[Prefix, int] = {}
+        self.paths: list[ASPath] = []
+        self.path_ids: dict[ASPath, int] = {}
+        self.collapsed: list[tuple[ASN, ...]] = []
+        self.path_origin: array = array("q")
+
+        # -- collector columns ----------------------------------------------
+        self.col_vantage: array = array("q")
+        self.col_prefix: array = array("q")
+        self.col_path: array = array("q")
+        self.rows_by_prefix: dict[int, list[int]] = {}
+        self.rows_by_member: dict[ASN, list[int]] = {}
+        self.adjacency: set[tuple[ASN, ASN]] = set()
+
+        # -- per-source views -----------------------------------------------
+        self.glasses: dict[ASN, GlassIndex] = {}
+        self.tables: dict[ASN, TableIndex] = {}
+        self.irr_rows: list[IrrRow] = []
+
+        self._build_collector()
+        self._build_glasses()
+        self._build_tables()
+        self._build_irr()
+
+    # -- interning -----------------------------------------------------------
+
+    def intern_prefix(self, prefix: Prefix) -> int:
+        """Return the (possibly new) integer id of a prefix."""
+        pid = self.prefix_ids.get(prefix)
+        if pid is None:
+            pid = len(self.prefixes)
+            self.prefix_ids[prefix] = pid
+            self.prefixes.append(prefix)
+        return pid
+
+    def intern_path(self, path: ASPath) -> int:
+        """Return the (possibly new) integer id of an AS path.
+
+        Interning also precomputes the collapsed (deduplicated) AS tuple and
+        the origin AS, the two derived forms every path-walking analysis
+        consumes.
+        """
+        path_id = self.path_ids.get(path)
+        if path_id is None:
+            path_id = len(self.paths)
+            self.path_ids[path] = path_id
+            self.paths.append(path)
+            self.collapsed.append(path.deduplicate().asns)
+            self.path_origin.append(path.origin_as)
+        return path_id
+
+    def prefix_id(self, prefix: Prefix) -> int | None:
+        """The id of a prefix, or ``None`` if it was never observed."""
+        return self.prefix_ids.get(prefix)
+
+    # -- builders ------------------------------------------------------------
+
+    def _build_collector(self) -> None:
+        """Lower the collector table: columns, groupings, adjacency."""
+        for row, entry in enumerate(self.collector.entries):
+            pid = self.intern_prefix(entry.prefix)
+            path_id = self.intern_path(entry.as_path)
+            self.col_vantage.append(entry.vantage)
+            self.col_prefix.append(pid)
+            self.col_path.append(path_id)
+            self.rows_by_prefix.setdefault(pid, []).append(row)
+            collapsed = self.collapsed[path_id]
+            for asn in set(collapsed):
+                self.rows_by_member.setdefault(asn, []).append(row)
+            self.adjacency.update(zip(collapsed, collapsed[1:]))
+
+    def _build_glasses(self) -> None:
+        """Lower every Looking Glass table into route/entry/best columns."""
+        for asn in self.looking_glass_ases:
+            glass = self.looking_glasses[asn]
+            view = GlassIndex(asn=asn)
+            for entry in glass.table.entries():
+                view.entry_prefix.append(self.intern_prefix(entry.prefix))
+                view.entry_offsets.append(len(view.route_next_hop))
+                for route in entry.routes:
+                    view.route_next_hop.append(route.next_hop_as)
+                    view.route_local_pref.append(route.local_pref)
+                    view.route_is_local.append(1 if route.is_local else 0)
+                    view.route_own_communities.append(
+                        tuple(route.communities.from_asn(asn))
+                    )
+                best = entry.best
+                if best is not None:
+                    view.best_next_hop.append(best.next_hop_as)
+                    view.best_local_pref.append(best.local_pref)
+                    view.best_is_local.append(1 if best.is_local else 0)
+            view.entry_offsets.append(len(view.route_next_hop))
+            self.glasses[asn] = view
+
+    def _build_tables(self) -> None:
+        """Lower the best routes of every observed AS's routing table."""
+        for asn in self.result.observed_ases:
+            table = self.result.table_of(asn)
+            view = TableIndex(owner=asn)
+            for route in table.best_routes():
+                pid = self.intern_prefix(route.prefix)
+                view.row_of_prefix[pid] = len(view.best_prefix)
+                view.best_prefix.append(pid)
+                view.best_origin.append(route.origin_as)
+                view.best_next_hop.append(route.next_hop_as)
+                view.best_is_local.append(1 if route.is_local else 0)
+                view.best_route.append(route)
+            self.tables[asn] = view
+
+    def _build_irr(self) -> None:
+        """Lower the IRR database into plain ``(peer, pref)`` rows."""
+        for obj in self.irr:
+            self.irr_rows.append(
+                IrrRow(
+                    asn=obj.asn,
+                    last_updated=obj.last_updated,
+                    imports=tuple((line.peer_as, line.pref) for line in obj.imports),
+                )
+            )
+
+    # -- conveniences --------------------------------------------------------
+
+    def table_of(self, asn: ASN) -> TableIndex:
+        """The best-route columns of one observed AS.
+
+        Raises:
+            KeyError: if the AS was not observed by the propagation run.
+        """
+        return self.tables[asn]
+
+    def providers_under_study(self, count: int = 3) -> list[ASN]:
+        """The largest Tier-1 ASes by degree (mirrors the dataset helper)."""
+        return sorted(
+            self.internet.tier1, key=self.graph.degree, reverse=True
+        )[:count]
+
+    def tagging_asns(self) -> list[ASN]:
+        """Looking Glass ASes that tag routes with relationship communities."""
+        return [
+            asn
+            for asn in self.looking_glass_ases
+            if self.assignment.policies[asn].community_plan is not None
+        ]
+
+    def stats(self) -> dict[str, int]:
+        """Size counters of the compiled index (for the CLI and tests)."""
+        return {
+            "collector_rows": len(self.col_vantage),
+            "interned_prefixes": len(self.prefixes),
+            "interned_paths": len(self.paths),
+            "adjacency_pairs": len(self.adjacency),
+            "looking_glasses": len(self.glasses),
+            "glass_route_rows": sum(g.route_count for g in self.glasses.values()),
+            "observed_tables": len(self.tables),
+            "table_best_rows": sum(t.best_count for t in self.tables.values()),
+            "irr_objects": len(self.irr_rows),
+        }
+
+    @classmethod
+    def from_dataset(cls, dataset: "StudyDataset") -> "MeasurementIndex":
+        """Build the index for an assembled study dataset."""
+        return cls(dataset)

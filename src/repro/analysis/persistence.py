@@ -1,0 +1,95 @@
+"""Snapshot-sharing fast path for the persistence study (Figs. 6 and 7).
+
+The persistence analysis runs the Fig. 4 SA-prefix algorithm once per
+timeline snapshot over a fixed AS graph (only announcements churn between
+snapshots).  :class:`SnapshotSACore` holds one memoising
+:class:`~repro.core.export_policy.ExportPolicyAnalyzer` across the whole
+timeline, so every cone and customer-path search is paid once instead of
+once per snapshot — the Fig. 4 algorithm itself lives in exactly one place.
+Results are identical to the legacy
+:class:`~repro.core.persistence.PersistenceAnalyzer` (asserted by the
+golden equivalence suite).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.export_policy import ExportPolicyAnalyzer, SAPrefixReport
+from repro.core.persistence import PersistenceSeries, UptimeDistribution
+from repro.net.asn import ASN
+from repro.topology.graph import AnnotatedASGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bgp.rib import LocRib
+    from repro.simulation.timeline import Snapshot
+
+
+class SnapshotSACore:
+    """Shared SA-prefix computation state for a fixed relationship graph.
+
+    A thin wrapper holding one memoising analyzer: the customer cones and
+    customer-path searches are snapshot-invariant, so amortising one
+    :class:`~repro.core.export_policy.ExportPolicyAnalyzer` across a
+    timeline pays each graph walk once.
+    """
+
+    def __init__(self, relationships: AnnotatedASGraph) -> None:
+        """Build the shared analyzer for one (immutable) graph."""
+        self.relationships = relationships
+        self._analyzer = ExportPolicyAnalyzer(relationships)
+
+    def cone(self, provider: ASN) -> set[ASN]:
+        """The provider's customer cone, computed once per provider."""
+        return self._analyzer.customer_cone(provider)
+
+    def customer_path(self, provider: ASN, origin: ASN) -> list[ASN]:
+        """One provider→customer path down to ``origin`` (``[]`` if none)."""
+        return self._analyzer.customer_path(provider, origin)
+
+    def sa_report(self, provider: ASN, table: "LocRib") -> SAPrefixReport:
+        """The Fig. 4 report for one snapshot table, with shared memos.
+
+        Exactly :meth:`ExportPolicyAnalyzer.find_sa_prefixes` (without
+        ground-truth prefix ownership, matching the persistence analyzer's
+        call) — the algorithm is not duplicated here.
+        """
+        return self._analyzer.find_sa_prefixes(provider, table)
+
+
+def persistence_series(
+    snapshots: list["Snapshot"],
+    provider: ASN,
+    relationships: AnnotatedASGraph,
+    core: SnapshotSACore | None = None,
+) -> PersistenceSeries:
+    """Fig. 6: per-snapshot prefix and SA-prefix counts for one provider."""
+    core = core or SnapshotSACore(relationships)
+    series = PersistenceSeries(provider=provider)
+    for snapshot in snapshots:
+        table = snapshot.result.table_of(provider)
+        report = core.sa_report(provider, table)
+        series.snapshot_indices.append(snapshot.index)
+        series.all_prefix_counts.append(len(table))
+        series.sa_prefix_counts.append(report.sa_prefix_count)
+    return series
+
+
+def uptime_distribution(
+    snapshots: list["Snapshot"],
+    provider: ASN,
+    relationships: AnnotatedASGraph,
+    core: SnapshotSACore | None = None,
+) -> UptimeDistribution:
+    """Fig. 7: uptime and SA-uptime of every prefix seen at the provider."""
+    core = core or SnapshotSACore(relationships)
+    distribution = UptimeDistribution(provider=provider, snapshot_count=len(snapshots))
+    for snapshot in snapshots:
+        table = snapshot.result.table_of(provider)
+        report = core.sa_report(provider, table)
+        sa_set = report.sa_prefix_set()
+        for prefix in table.prefixes():
+            distribution.uptime[prefix] = distribution.uptime.get(prefix, 0) + 1
+            if prefix in sa_set:
+                distribution.sa_uptime[prefix] = distribution.sa_uptime.get(prefix, 0) + 1
+    return distribution

@@ -10,6 +10,7 @@ Usage::
     python -m repro run --propagation-workers 4  # shard prefix propagation
     python -m repro list                         # experiment ids + required stages
     python -m repro scenarios                    # scenario presets
+    python -m repro index --scenario small       # compile + size the measurement index
 
 ``python -m repro.experiments`` remains as a thin compatibility shim over
 ``python -m repro run``.
@@ -88,6 +89,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="list experiment identifiers and required stages")
     commands.add_parser("scenarios", help="list scenario presets")
+
+    index = commands.add_parser(
+        "index",
+        help="compile a scenario's measurement index and print its size counters",
+    )
+    index.add_argument(
+        "--scenario",
+        default="standard",
+        help="scenario preset to compile (default: standard)",
+    )
+    index.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the counters as JSON instead of aligned text",
+    )
     return parser
 
 
@@ -124,6 +141,26 @@ def _write_outputs(report: SuiteReport, output_dir: pathlib.Path) -> None:
           file=sys.stderr)
 
 
+def _command_index(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    study = get_scenario(args.scenario).study()
+    started = time.perf_counter()
+    engine = study.analysis()
+    build_seconds = time.perf_counter() - started
+    stats = engine.index.stats()
+    if args.as_json:
+        print(json.dumps({**stats, "build_seconds": round(build_seconds, 4)}, indent=2))
+        return 0
+    print(f"measurement index of scenario {args.scenario!r} "
+          f"(built in {build_seconds:.2f}s incl. upstream stages):")
+    width = max(len(name) for name in stats)
+    for name, value in stats.items():
+        print(f"  {name:{width}s} {value}")
+    return 0
+
+
 def _command_list() -> int:
     from repro.experiments.registry import all_experiments
 
@@ -147,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_run(args)
         if args.command == "list":
             return _command_list()
+        if args.command == "index":
+            return _command_index(args)
         return _command_scenarios()
     except BrokenPipeError:  # e.g. `python -m repro run | head`
         return 0

@@ -120,10 +120,40 @@ class CustomerSAReport:
 
 
 class ExportPolicyAnalyzer:
-    """Runs the Fig. 4 SA-prefix inference against provider routing tables."""
+    """Runs the Fig. 4 SA-prefix inference against provider routing tables.
+
+    Customer cones and customer paths are deterministic functions of the
+    relationship graph, so they are memoised per analyzer instance: one
+    analyzer reused across many tables (e.g. the persistence study's
+    snapshots) pays each cone/path search once.  The graph must therefore
+    not be mutated between calls — build a fresh analyzer if it changes.
+    """
 
     def __init__(self, relationships: AnnotatedASGraph) -> None:
         self.relationships = relationships
+        self._cones: dict[ASN, set[ASN]] = {}
+        self._customer_paths: dict[tuple[ASN, ASN], tuple[ASN, ...] | None] = {}
+
+    # -- memoised graph walks -----------------------------------------------------
+
+    def customer_cone(self, provider: ASN) -> set[ASN]:
+        """The provider's customer cone, computed once per analyzer."""
+        cone = self._cones.get(provider)
+        if cone is None:
+            cone = self._cones[provider] = self.relationships.customer_cone(provider)
+        return cone
+
+    def customer_path(self, provider: ASN, origin: ASN) -> list[ASN]:
+        """One provider→customer path down to ``origin`` (``[]`` if none).
+
+        Returns a fresh list per call, so callers may keep or modify it.
+        """
+        key = (provider, origin)
+        if key not in self._customer_paths:
+            path = self.relationships.find_customer_path(provider, origin)
+            self._customer_paths[key] = tuple(path) if path is not None else None
+        cached = self._customer_paths[key]
+        return list(cached) if cached else []
 
     # -- the Fig. 4 algorithm ------------------------------------------------------
 
@@ -145,7 +175,7 @@ class ExportPolicyAnalyzer:
         if provider not in self.relationships:
             raise InferenceError(f"AS{provider} is not in the relationship graph")
         report = SAPrefixReport(provider=provider)
-        cone = self.relationships.customer_cone(provider)
+        cone = self.customer_cone(provider)
         seen_prefixes: set[Prefix] = set()
         for route in table.best_routes():
             if route.is_local:
@@ -160,7 +190,6 @@ class ExportPolicyAnalyzer:
             if relationship is Relationship.CUSTOMER:
                 report.customer_route_prefix_count += 1
                 continue
-            customer_path = self.relationships.find_customer_path(provider, origin) or []
             report.sa_prefixes.append(
                 SAPrefix(
                     prefix=route.prefix,
@@ -168,7 +197,7 @@ class ExportPolicyAnalyzer:
                     next_hop_as=next_hop,
                     next_hop_relationship=relationship,
                     best_route=route,
-                    customer_path=customer_path,
+                    customer_path=self.customer_path(provider, origin),
                 )
             )
         if known_customer_prefixes:
@@ -209,7 +238,7 @@ class ExportPolicyAnalyzer:
         providers = sorted(reports)
         if not providers:
             return []
-        cones = [self.relationships.customer_cone(provider) for provider in providers]
+        cones = [self.customer_cone(provider) for provider in providers]
         shared_customers = set.intersection(*cones) if cones else set()
 
         # Prefixes originated by each customer, as visible from any table.

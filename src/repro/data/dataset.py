@@ -19,7 +19,9 @@ code keeps working.  New code should prefer the session API::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.data.rpsl import IrrDatabase
 from repro.exceptions import SimulationError
@@ -28,6 +30,10 @@ from repro.simulation.collector import CollectorTable, LookingGlass
 from repro.simulation.policies import PolicyAssignment, PolicyParameters
 from repro.simulation.propagation import SimulationResult
 from repro.topology.generator import GeneratorParameters, SyntheticInternet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.engine import AnalysisEngine
+    from repro.session.stages import AnalysisParameters
 
 
 @dataclass(frozen=True)
@@ -120,6 +126,15 @@ class StudyDataset:
     vantage_ases: list[ASN]
     looking_glass_ases: list[ASN]
     as_info: dict[ASN, ASInfo] = field(default_factory=dict)
+    #: Analysis-stage knobs the engine is built with (``None`` means the
+    #: session defaults); set by the session layer's dataset assembly.
+    analysis_parameters: "AnalysisParameters | None" = None
+    _analysis_engine: "AnalysisEngine | None" = field(
+        default=None, repr=False, init=False
+    )
+    _analysis_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, init=False
+    )
 
     # -- convenience used across experiments -----------------------------------
 
@@ -156,6 +171,32 @@ class StudyDataset:
             key=lambda asn: self.ground_truth_graph.degree(asn),
             reverse=True,
         )[:count]
+
+    @property
+    def analysis(self) -> "AnalysisEngine":
+        """The analyzer engine, mirroring ``StageView.analysis`` (ungated)."""
+        return self.analysis_engine()
+
+    def analysis_engine(self) -> "AnalysisEngine":
+        """The one-pass analyzer engine over this dataset's measurement index.
+
+        Built lazily on first use and memoised on the dataset (thread-safe,
+        so concurrent ``run_suite`` workers compile the index exactly once).
+        The session layer's ``ANALYSIS`` stage routes through this memo, so
+        a :class:`~repro.session.study.Study` and a bare dataset share the
+        same engine.
+        """
+        with self._analysis_lock:
+            engine = self._analysis_engine
+            if engine is None:
+                from repro.analysis.engine import AnalysisEngine
+                from repro.analysis.index import MeasurementIndex
+
+                engine = AnalysisEngine(
+                    MeasurementIndex.from_dataset(self), self.analysis_parameters
+                )
+                self._analysis_engine = engine
+        return engine
 
 
 def build_dataset(parameters: DatasetParameters | None = None) -> StudyDataset:

@@ -21,10 +21,8 @@ from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
-from repro.relationships.gao import GaoInference
 from repro.reporting.tables import format_percent
 from repro.simulation.collector import CollectorTable, RouteViewsCollector
-from repro.topology.graph import Relationship
 
 
 @register
@@ -34,7 +32,9 @@ class AblationExperiment(Experiment):
     experiment_id = "ablations"
     title = "Ablations: inferred relationships, route visibility, vantage count"
     paper_reference = "DESIGN.md Section 5 (supports paper Sections 4.3 and 5.1.5)"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
+    requires = frozenset(
+        {Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION, Stage.ANALYSIS}
+    )
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
@@ -47,7 +47,8 @@ class AblationExperiment(Experiment):
     # -- inferred vs ground-truth relationships ----------------------------------
 
     def _relationship_ablation(self, dataset: StageView, result: ExperimentResult) -> None:
-        inferred_graph = GaoInference().infer(dataset.collector.all_paths()).graph
+        # The Gao inference is shared with Table 4 through the engine cache.
+        inferred_graph = dataset.analysis.inferred_graph()
         inferred_analyzer = ExportPolicyAnalyzer(inferred_graph)
         tables = provider_tables(dataset)
         baseline = sa_reports(dataset)
@@ -73,21 +74,9 @@ class AblationExperiment(Experiment):
     # -- best routes vs all routes ---------------------------------------------------
 
     def _visibility_ablation(self, dataset: StageView, result: ExperimentResult) -> None:
-        graph = dataset.ground_truth_graph
-        tables = provider_tables(dataset)
+        engine = dataset.analysis
         for provider, report in sa_reports(dataset).items():
-            table = tables[provider]
-            strict_sa = 0
-            for item in report.sa_prefixes:
-                routes = table.all_routes(item.prefix)
-                has_customer_candidate = any(
-                    not route.is_local
-                    and graph.relationship(provider, route.next_hop_as)
-                    is Relationship.CUSTOMER
-                    for route in routes
-                )
-                if not has_customer_candidate:
-                    strict_sa += 1
+            strict_sa = engine.strict_sa_count(provider)
             result.rows.append(
                 ["visibility", f"AS{provider}", "best routes (paper)", report.sa_prefix_count]
             )

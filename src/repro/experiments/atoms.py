@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.atoms import PolicyAtomAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,16 +15,16 @@ class PolicyAtomExperiment(Experiment):
     experiment_id = "atoms"
     title = "Policy atoms of the collector table and their relation to SA prefixes"
     paper_reference = "Section 5.1.5 discussion of Afek et al. [21] (extension)"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = PolicyAtomAnalyzer()
-        atoms = analyzer.compute_atoms(dataset.collector)
+        engine = dataset.analysis
+        atoms = engine.atoms()
         sa_prefixes = set()
-        for report in sa_reports(dataset).values():
+        for report in engine.sa_reports().values():
             sa_prefixes |= report.sa_prefix_set()
-        stats = analyzer.statistics(atoms, sa_prefixes=sa_prefixes)
+        stats = engine.atom_statistics(atoms, sa_prefixes=sa_prefixes)
         result.headers = ["metric", "value"]
         result.rows = [
             ["prefixes covered", stats.prefix_count],

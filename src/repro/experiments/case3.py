@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.causes import CauseAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,11 +15,11 @@ class Case3Experiment(Experiment):
     experiment_id = "case3"
     title = "Selective announcing: exports toward the provider's customer branch"
     paper_reference = "Section 5.1.5, Case 3"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = CauseAnalyzer(dataset.ground_truth_graph)
+        engine = dataset.analysis
         result.headers = [
             "provider",
             "# SA prefixes",
@@ -29,8 +27,8 @@ class Case3Experiment(Experiment):
             "% announced to direct provider",
             "% not announced to direct provider",
         ]
-        for provider, report in sorted(sa_reports(dataset).items()):
-            case3 = analyzer.case3_analysis(report, dataset.collector)
+        for provider in sorted(engine.sa_reports()):
+            case3 = engine.case3(provider)
             result.rows.append(
                 [
                     f"AS{provider}",

@@ -2,21 +2,19 @@
 
 Several tables consume the same intermediate products (the SA-prefix reports
 of the studied providers, the set of tagging Looking Glass ASes, the
-persistence timeline).  Computing them once per dataset keeps the experiment
-suite fast; the caches are keyed by dataset identity (``cache_token``), so
-different datasets never share results and every :class:`StageView` over the
-same dataset does.  A lock serialises cache fills so ``run_suite`` workers
-don't duplicate the heavy computations.
+persistence timeline).  Since the :mod:`repro.analysis` layer those shared
+products are served by the dataset's memoised
+:class:`~repro.analysis.engine.AnalysisEngine` — one compiled measurement
+index per dataset, shared by every experiment and every ``run_suite``
+worker — so the helpers here are thin delegates kept for compatibility.
 """
 
 from __future__ import annotations
 
 import functools
-import threading
-import weakref
 
 from repro.bgp.rib import LocRib
-from repro.core.export_policy import ExportPolicyAnalyzer, SAPrefixReport
+from repro.core.export_policy import SAPrefixReport
 from repro.net.asn import ASN
 from repro.session.stages import StageView
 from repro.simulation.collector import LookingGlass
@@ -24,65 +22,40 @@ from repro.simulation.policies import PolicyGenerator, PolicyParameters
 from repro.simulation.timeline import Snapshot, Timeline, TimelineParameters
 from repro.topology.generator import GeneratorParameters, InternetGenerator
 
-#: Number of providers studied in the SA-prefix experiments ("AS1, AS3549 and
-#: AS7018" in the paper).
-STUDY_PROVIDER_COUNT = 3
-
-# Weak-keyed by the underlying StudyDataset object: entries vanish with the
-# dataset (no growth over a long session, no stale hit if a dead dataset's
-# memory address gets reused by a new one).
-_sa_cache: "weakref.WeakKeyDictionary[object, dict[ASN, SAPrefixReport]]" = (
-    weakref.WeakKeyDictionary()
-)
-_table_cache: "weakref.WeakKeyDictionary[object, dict[ASN, LocRib]]" = (
-    weakref.WeakKeyDictionary()
-)
-_cache_lock = threading.Lock()
+# The number of studied providers ("AS1, AS3549 and AS7018" in the paper)
+# is configured per study via repro.session.stages.AnalysisParameters
+# (study_provider_count, default 3); the dataset's engine is built with it.
 
 
-def _cache_key(dataset) -> object:
-    """The underlying dataset object, stable across StageView wrappers."""
-    return dataset._dataset if isinstance(dataset, StageView) else dataset
+def _engine(dataset):
+    """The dataset's analysis engine.
+
+    Goes through ``StageView.analysis`` when given a view, so an experiment
+    that reaches these helpers without declaring ``Stage.ANALYSIS`` still
+    fails loudly.
+    """
+    if isinstance(dataset, StageView):
+        return dataset.analysis
+    return dataset.analysis_engine()
 
 
 def provider_tables(dataset: StageView, count: int | None = None) -> dict[ASN, LocRib]:
-    """The routing tables of the studied (largest Tier-1) providers."""
-    key = _cache_key(dataset)
-    with _cache_lock:
-        if key not in _table_cache:
-            providers = dataset.providers_under_study(count or STUDY_PROVIDER_COUNT)
-            _table_cache[key] = {
-                provider: dataset.result.table_of(provider) for provider in providers
-            }
-        return _table_cache[key]
+    """The routing tables of the studied (largest Tier-1) providers.
+
+    ``count=None`` defers to the engine's configured
+    ``study_provider_count``, so the whole suite agrees on one provider set.
+    """
+    return _engine(dataset).provider_tables(count)
 
 
 def sa_reports(dataset: StageView) -> dict[ASN, SAPrefixReport]:
     """The Fig. 4 SA-prefix reports for the studied providers."""
-    key = _cache_key(dataset)
-    tables = provider_tables(dataset)
-    with _cache_lock:
-        if key not in _sa_cache:
-            analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
-            _sa_cache[key] = analyzer.analyze_providers(
-                tables,
-                known_customer_prefixes=dataset.internet.originated,
-            )
-        return _sa_cache[key]
+    return _engine(dataset).sa_reports()
 
 
 def all_provider_reports(dataset: StageView) -> dict[ASN, SAPrefixReport]:
     """SA-prefix reports for every observed AS that has customers (Table 5)."""
-    analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
-    graph = dataset.ground_truth_graph
-    tables = {
-        asn: dataset.result.table_of(asn)
-        for asn in dataset.result.observed_ases
-        if graph.customers_of(asn)
-    }
-    return analyzer.analyze_providers(
-        tables, known_customer_prefixes=dataset.internet.originated
-    )
+    return _engine(dataset).all_provider_reports()
 
 
 def tagging_glasses(dataset: StageView) -> list[LookingGlass]:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.consistency import ConsistencyAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
@@ -16,7 +15,7 @@ class Figure2Experiment(Experiment):
     experiment_id = "fig2"
     title = "Consistency of local preference with next-hop ASes"
     paper_reference = "Figure 2, Section 4.2"
-    requires = frozenset({Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     #: Number of synthetic backbone routers for the Fig. 2(b) panel (the
     #: paper uses 30 AT&T routers).
@@ -24,20 +23,19 @@ class Figure2Experiment(Experiment):
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = ConsistencyAnalyzer()
-        glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
+        engine = dataset.analysis
         result.headers = ["view", "AS", "router", "% prefixes with next-hop-based LOCAL_PREF"]
-        per_as = analyzer.analyze_many(glasses)
+        per_as = engine.consistency_by_as()
         for row in sorted(per_as, key=lambda r: r.asn):
             result.rows.append(
                 ["fig2a", f"AS{row.asn}", "-", format_percent(row.percent_consistent, 1)]
             )
         # Fig. 2(b): the largest Looking Glass AS plays AT&T's role.
-        biggest = max(glasses, key=lambda g: len(list(g.table.prefixes())))
-        per_router = analyzer.analyze_routers(biggest, router_count=self.router_count)
+        biggest = engine.biggest_glass_asn()
+        per_router = engine.consistency_by_router(router_count=self.router_count)
         for row in per_router:
             result.rows.append(
-                ["fig2b", f"AS{biggest.asn}", row.router_id,
+                ["fig2b", f"AS{biggest}", row.router_id,
                  format_percent(row.percent_consistent, 1)]
             )
         result.notes.append(

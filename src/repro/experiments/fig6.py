@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.persistence import PersistenceAnalyzer
+from repro.analysis.persistence import persistence_series
 from repro.session.stages import StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import persistence_snapshots
@@ -31,8 +31,7 @@ class Figure6Experiment(Experiment):
             ("fig6b (intra-day)", self.day_snapshots, 316),
         ):
             provider, snapshots, graph = persistence_snapshots(count, seed)
-            analyzer = PersistenceAnalyzer(graph)
-            series = analyzer.series_for_provider(list(snapshots), provider)
+            series = persistence_series(list(snapshots), provider, graph)
             for index, total, sa in series.as_rows():
                 result.rows.append([panel, index + 1, total, sa])
         result.notes.append(

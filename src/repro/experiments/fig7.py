@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.persistence import PersistenceAnalyzer
+from repro.analysis.persistence import uptime_distribution
 from repro.session.stages import StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import persistence_snapshots
@@ -30,8 +30,7 @@ class Figure7Experiment(Experiment):
             ("fig7b (intra-day)", self.day_snapshots, 316),
         ):
             provider, snapshots, graph = persistence_snapshots(count, seed)
-            analyzer = PersistenceAnalyzer(graph)
-            distribution = analyzer.uptime_distribution(list(snapshots), provider)
+            distribution = uptime_distribution(list(snapshots), provider, graph)
             for uptime, remaining, shifting in distribution.histogram():
                 if remaining == 0 and shifting == 0:
                     continue

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.community import CommunityAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
@@ -15,7 +14,7 @@ class Figure9Experiment(Experiment):
     experiment_id = "fig9"
     title = "Prefixes announced by the next-hop ASes, by rank"
     paper_reference = "Figure 9, Appendix"
-    requires = frozenset({Stage.TOPOLOGY, Stage.OBSERVATION})
+    requires = frozenset({Stage.TOPOLOGY, Stage.ANALYSIS})
 
     #: How many Looking Glass ASes to plot (the paper shows AS1, AS3549 and
     #: AS8736 — two provider-free ASes and one with a provider).
@@ -23,22 +22,22 @@ class Figure9Experiment(Experiment):
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = CommunityAnalyzer()
+        engine = dataset.analysis
         tier1 = set(dataset.tier1_ases)
-        looking_glass = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
+        looking_glass = engine.index.looking_glass_ases
         # Two provider-free (Tier-1) views plus one view of an AS that has
         # providers, mirroring the paper's three panels.
-        tier1_views = [glass for glass in looking_glass if glass.asn in tier1][:2]
-        lower_views = [glass for glass in looking_glass if glass.asn not in tier1][:1]
+        tier1_views = [asn for asn in looking_glass if asn in tier1][:2]
+        lower_views = [asn for asn in looking_glass if asn not in tier1][:1]
         views = tier1_views + lower_views
         result.headers = ["view AS", "has providers", "rank", "next-hop AS", "# prefixes"]
         graph = dataset.ground_truth_graph
-        for glass in views[: self.view_count]:
-            has_providers = bool(graph.providers_of(glass.asn))
-            ranked = analyzer.prefix_counts_by_rank(glass)
+        for asn in views[: self.view_count]:
+            has_providers = bool(graph.providers_of(asn))
+            ranked = engine.prefix_counts_by_rank(asn)
             for rank, (neighbor, count) in enumerate(ranked, start=1):
                 result.rows.append(
-                    [f"AS{glass.asn}", "yes" if has_providers else "no", rank,
+                    [f"AS{asn}", "yes" if has_providers else "no", rank,
                      f"AS{neighbor}", count]
                 )
         result.notes.append(

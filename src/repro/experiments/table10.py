@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.peer_export import PeerExportAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import provider_tables
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,14 +15,12 @@ class Table10Experiment(Experiment):
     experiment_id = "table10"
     title = "Peers announcing their prefixes directly to the studied ASes"
     paper_reference = "Table 10, Section 5.2"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = PeerExportAnalyzer(dataset.ground_truth_graph)
-        reports = analyzer.analyze_many(
-            provider_tables(dataset), originated=dataset.internet.originated
-        )
+        # The engine's default `originated` is the ground-truth ownership.
+        reports = dataset.analysis.peer_export_reports()
         result.headers = ["AS", "# peers", "% peers announcing their prefixes", "partial announcers"]
         for asn, report in sorted(reports.items()):
             result.rows.append(

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core.community import CommunityAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.exceptions import ExperimentError
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import tagging_glasses
 from repro.experiments.registry import register
 from repro.topology.graph import Relationship
 
@@ -18,24 +16,24 @@ class Table11Experiment(Experiment):
     experiment_id = "table11"
     title = "Tagging communities of one AS (published plan vs. inferred semantics)"
     paper_reference = "Table 11, Appendix"
-    requires = frozenset({Stage.TOPOLOGY, Stage.POLICIES, Stage.OBSERVATION})
+    requires = frozenset({Stage.TOPOLOGY, Stage.POLICIES, Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        glasses = tagging_glasses(dataset)
-        if not glasses:
+        engine = dataset.analysis
+        tagging = engine.tagging_asns()
+        if not tagging:
             raise ExperimentError("the dataset has no community-tagging Looking Glass AS")
         # Prefer a tagging AS that has providers (AS12859 in the paper is a
         # mid-size ISP), so all three ranges are exercised; break ties by the
         # number of visible neighbors.
         graph = dataset.ground_truth_graph
-        glass = max(
-            glasses,
-            key=lambda g: (bool(graph.providers_of(g.asn)), len(g.neighbors())),
+        asn = max(
+            tagging,
+            key=lambda a: (bool(graph.providers_of(a)), len(engine.glass_neighbors(a))),
         )
-        plan = dataset.assignment.policies[glass.asn].community_plan
-        analyzer = CommunityAnalyzer()
-        semantics = analyzer.infer_semantics(glass)
+        plan = dataset.assignment.policies[asn].community_plan
+        semantics = engine.infer_semantics(asn)
         result.headers = ["community range", "published meaning", "inferred meaning"]
         for relationship in (Relationship.PEER, Relationship.PROVIDER, Relationship.CUSTOMER):
             base = plan.base_for(relationship)
@@ -43,14 +41,14 @@ class Table11Experiment(Experiment):
             inferred = semantics.value_to_relationship.get(bucket)
             result.rows.append(
                 [
-                    f"{glass.asn}:{base}-{glass.asn}:{base + plan.range_size - 1}",
+                    f"{asn}:{base}-{asn}:{base + plan.range_size - 1}",
                     f"route received from {relationship.value}",
                     f"route received from {inferred.value}" if inferred else "(not inferred)",
                 ]
             )
         result.notes.append(
-            f"tagging AS under study: AS{glass.asn} "
-            f"({len(glass.neighbors())} neighbors visible)"
+            f"tagging AS under study: AS{asn} "
+            f"({len(engine.glass_neighbors(asn))} neighbors visible)"
         )
         result.notes.append(
             "Paper Table 11 lists AS12859's published values: 1000-range = peers, "

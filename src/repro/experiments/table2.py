@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.import_policy import ImportPolicyAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
@@ -16,13 +15,11 @@ class Table2Experiment(Experiment):
     experiment_id = "table2"
     title = "Typical local preference assignment (from BGP tables)"
     paper_reference = "Table 2, Section 4.1"
-    requires = frozenset({Stage.TOPOLOGY, Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = ImportPolicyAnalyzer(dataset.ground_truth_graph)
-        glasses = [dataset.looking_glass_of(asn) for asn in dataset.looking_glass_ases]
-        rows = analyzer.analyze_many(glasses)
+        rows = dataset.analysis.import_typicality()
         result.headers = ["AS", "comparable prefixes", "% typical local preference"]
         for row in sorted(rows, key=lambda r: r.asn):
             result.rows.append(

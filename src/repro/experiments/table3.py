@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.import_policy import ImportPolicyAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
@@ -16,7 +15,7 @@ class Table3Experiment(Experiment):
     experiment_id = "table3"
     title = "Typical local preference assignment (from the IRR)"
     paper_reference = "Table 3, Section 4.1"
-    requires = frozenset({Stage.TOPOLOGY, Stage.IRR})
+    requires = frozenset({Stage.ANALYSIS})
 
     #: Minimum number of neighbors with registered preferences and known
     #: relationships (the paper uses 50 on the real Internet; the synthetic
@@ -25,9 +24,8 @@ class Table3Experiment(Experiment):
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = ImportPolicyAnalyzer(dataset.ground_truth_graph)
-        rows = analyzer.analyze_irr(
-            dataset.irr, min_neighbors=self.min_neighbors, updated_during="2002"
+        rows = dataset.analysis.irr_typicality(
+            min_neighbors=self.min_neighbors, updated_during="2002"
         )
         rows.sort(key=lambda r: r.neighbor_count)
         result.headers = ["AS", "registered neighbors", "% typical local preference"]

@@ -2,13 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core.community import CommunityAnalyzer
-from repro.core.verification import Verifier
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import tagging_glasses
 from repro.experiments.registry import register
-from repro.relationships.gao import GaoInference
 from repro.reporting.tables import format_percent
 
 
@@ -19,15 +15,13 @@ class Table4Experiment(Experiment):
     experiment_id = "table4"
     title = "AS relationships verified via community semantics"
     paper_reference = "Table 4, Section 4.3 and Appendix"
-    requires = frozenset({Stage.POLICIES, Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        # The paper verifies *inferred* relationships; infer them from the
-        # collector's AS paths first, then check against the communities.
-        inferred = GaoInference().infer(dataset.collector.all_paths()).graph
-        verifier = Verifier(inferred, CommunityAnalyzer())
-        rows = verifier.verify_relationships(tagging_glasses(dataset))
+        # The paper verifies *inferred* relationships; the engine defaults to
+        # the (shared, cached) Gao inference over the collector's AS paths.
+        rows = dataset.analysis.verify_relationships()
         result.headers = ["AS", "# neighbors", "verifiable", "% relationships verified"]
         for row in sorted(rows, key=lambda r: r.asn):
             result.rows.append(

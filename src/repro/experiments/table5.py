@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import all_provider_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -16,11 +15,11 @@ class Table5Experiment(Experiment):
     experiment_id = "table5"
     title = "Percentage of SA prefixes per provider"
     paper_reference = "Table 5, Section 5.1.2"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
+    requires = frozenset({Stage.TOPOLOGY, Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        reports = all_provider_reports(dataset)
+        reports = dataset.analysis.all_provider_reports()
         tier1 = set(dataset.tier1_ases)
         result.headers = [
             "provider",

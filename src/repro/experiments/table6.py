@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.export_policy import ExportPolicyAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,7 +15,7 @@ class Table6Experiment(Experiment):
     experiment_id = "table6"
     title = "Per-customer SA prefixes for the three studied providers"
     paper_reference = "Table 6, Section 5.1.2"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     #: Minimum number of originated prefixes for a customer to be listed
     #: (the paper selects 8 customers "which originate a significant number
@@ -28,10 +26,7 @@ class Table6Experiment(Experiment):
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = ExportPolicyAnalyzer(dataset.ground_truth_graph)
-        rows = analyzer.analyze_customers(
-            sa_reports(dataset), provider_tables(dataset), min_prefixes=self.min_prefixes
-        )
+        rows = dataset.analysis.customer_sa_reports(min_prefixes=self.min_prefixes)
         result.headers = ["customer", "# prefixes", "# SA prefixes", "% SA"]
         for row in rows[: self.max_rows]:
             result.rows.append(
@@ -42,7 +37,9 @@ class Table6Experiment(Experiment):
                     format_percent(row.percent_sa, 0),
                 ]
             )
-        providers = ", ".join(f"AS{p}" for p in sorted(sa_reports(dataset)))
+        providers = ", ".join(
+            f"AS{p}" for p in sorted(dataset.analysis.sa_reports())
+        )
         result.notes.append(f"studied providers: {providers}")
         result.notes.append(
             "Paper Table 6: 17%-97% of the selected customers' prefixes are SA "

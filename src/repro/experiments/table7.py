@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.verification import Verifier
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,12 +15,11 @@ class Table7Experiment(Experiment):
     experiment_id = "table7"
     title = "SA prefixes verified (next-hop relationship + active customer path)"
     paper_reference = "Table 7, Section 5.1.3"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION, Stage.OBSERVATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        verifier = Verifier(dataset.ground_truth_graph)
-        verifications = verifier.verify_many(sa_reports(dataset), dataset.collector)
+        verifications = dataset.analysis.verify_sa_prefixes()
         result.headers = ["provider", "# SA prefixes", "% SA prefixes verified"]
         for provider in sorted(verifications):
             verification = verifications[provider]

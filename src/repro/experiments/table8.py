@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.causes import CauseAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import sa_reports
 from repro.experiments.registry import register
 from repro.reporting.tables import format_percent
 
@@ -17,14 +15,14 @@ class Table8Experiment(Experiment):
     experiment_id = "table8"
     title = "Multihomed vs. single-homed ASes with SA prefixes"
     paper_reference = "Table 8, Section 5.1.5"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = CauseAnalyzer(dataset.ground_truth_graph)
+        engine = dataset.analysis
         result.headers = ["provider", "multihomed origins", "single-homed origins", "% multihomed"]
-        for provider, report in sorted(sa_reports(dataset).items()):
-            breakdown = analyzer.homing_breakdown(report)
+        for provider in sorted(engine.sa_reports()):
+            breakdown = engine.homing_breakdown(provider)
             result.rows.append(
                 [
                     f"AS{provider}",

@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.causes import CauseAnalyzer
 from repro.session.stages import Stage, StageView
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.common import provider_tables, sa_reports
 from repro.experiments.registry import register
 
 
@@ -16,12 +14,11 @@ class Table9Experiment(Experiment):
     experiment_id = "table9"
     title = "SA prefixes attributable to prefix splitting and prefix aggregating"
     paper_reference = "Table 9, Section 5.1.5"
-    requires = frozenset({Stage.TOPOLOGY, Stage.PROPAGATION})
+    requires = frozenset({Stage.ANALYSIS})
 
     def run(self, dataset: StageView) -> ExperimentResult:
         result = self._result()
-        analyzer = CauseAnalyzer(dataset.ground_truth_graph)
-        tables = provider_tables(dataset)
+        engine = dataset.analysis
         result.headers = [
             "provider",
             "# SA prefixes",
@@ -29,8 +26,8 @@ class Table9Experiment(Experiment):
             "# prefix aggregating",
             "# selective announcing",
         ]
-        for provider, report in sorted(sa_reports(dataset).items()):
-            breakdown = analyzer.cause_breakdown(report, tables[provider])
+        for provider in sorted(engine.sa_reports()):
+            breakdown = engine.cause_breakdown(provider)
             result.rows.append(
                 [
                     f"AS{provider}",

@@ -1,8 +1,8 @@
 """repro.session — the staged, cacheable Study API.
 
-The session layer redesigns dataset assembly around five explicit stages
-(``topology -> policies -> propagation -> observation -> irr``), each built
-lazily and cached by content-addressed keys:
+The session layer redesigns dataset assembly around six explicit stages
+(``topology -> policies -> propagation -> observation -> irr -> analysis``),
+each built lazily and cached by content-addressed keys:
 
 * :class:`Study` — the staged pipeline; ``study.with_(policy=...)`` derives
   a variant that reuses every upstream artifact already built.
@@ -28,6 +28,7 @@ Quick tour::
 from repro.session.cache import GLOBAL_CACHE, StageCache, StageStats, fingerprint
 from repro.session.stages import (
     ALL_STAGES,
+    AnalysisParameters,
     IrrParameters,
     ObservationArtifact,
     ObservationParameters,
@@ -49,6 +50,7 @@ from repro.session.suite import ExperimentReport, SuiteReport, run_suite
 
 __all__ = [
     "ALL_STAGES",
+    "AnalysisParameters",
     "ExperimentReport",
     "GLOBAL_CACHE",
     "IrrParameters",

@@ -3,7 +3,7 @@
 The paper's methodology is a pipeline; the session API makes each step an
 explicit stage with its own frozen parameter set:
 
-``topology -> policies -> propagation -> observation -> irr``
+``topology -> policies -> propagation -> observation -> irr -> analysis``
 
 * **topology** — generate the synthetic Internet
   (:class:`~repro.topology.generator.GeneratorParameters`).
@@ -11,10 +11,17 @@ explicit stage with its own frozen parameter set:
   policy assignment (:class:`ObservationParameters` select the vantages, the
   Looking Glass list feeds the generator's prefix-based LOCAL_PREF draw).
 * **propagation** — run the BGP propagation engine observed at the planned
-  vantage ASes.
+  vantage ASes.  The compiled fast engine
+  (:class:`~repro.simulation.fastpath.FastPropagationEngine`) is the
+  default; :class:`PropagationSettings` selects the legacy engine or a
+  per-prefix worker pool instead.
 * **observation** — collect the RouteViews-style table, the Looking Glass
   views and the Table 1 inventory.
 * **irr** — synthesise the IRR database (:class:`IrrParameters`).
+* **analysis** — compile the observation artifacts into the columnar
+  :class:`~repro.analysis.index.MeasurementIndex` and expose the one-pass
+  :class:`~repro.analysis.engine.AnalysisEngine` over it
+  (:class:`AnalysisParameters`).
 
 :class:`StageView` is the object an :class:`~repro.experiments.base.Experiment`
 receives: a facade over the assembled dataset that only exposes the stages
@@ -33,6 +40,7 @@ from repro.simulation.propagation import SimulationResult
 from repro.topology.generator import GeneratorParameters, SyntheticInternet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.engine import AnalysisEngine
     from repro.data.dataset import ASInfo, DatasetParameters, StudyDataset
     from repro.data.rpsl import IrrDatabase
     from repro.net.asn import ASN
@@ -47,6 +55,7 @@ class Stage(enum.Enum):
     PROPAGATION = "propagation"
     OBSERVATION = "observation"
     IRR = "irr"
+    ANALYSIS = "analysis"
 
     def __repr__(self) -> str:  # stable across sessions, used in cache keys
         return f"Stage.{self.name}"
@@ -116,6 +125,24 @@ class PropagationSettings:
 
 
 @dataclass(frozen=True)
+class AnalysisParameters:
+    """How the measurement index and the analyzer engine are configured.
+
+    Attributes:
+        study_provider_count: how many of the largest Tier-1 providers the
+            SA-prefix studies cover (the paper studies AS1, AS3549 and
+            AS7018, i.e. three).
+    """
+
+    study_provider_count: int = 3
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` on inconsistent settings."""
+        if self.study_provider_count < 1:
+            raise SimulationError("study_provider_count must be at least 1")
+
+
+@dataclass(frozen=True)
 class IrrParameters:
     """How the synthetic IRR is populated.
 
@@ -150,12 +177,14 @@ class StudyConfig:
     policy: PolicyParameters = field(default_factory=PolicyParameters)
     observation: ObservationParameters = field(default_factory=ObservationParameters)
     irr: IrrParameters = field(default_factory=IrrParameters)
+    analysis: AnalysisParameters = field(default_factory=AnalysisParameters)
 
     def validate(self) -> None:
         """Validate every stage's parameters."""
         self.topology.validate()
         self.policy.validate()
         self.observation.validate()
+        self.analysis.validate()
 
     # -- compatibility with the flat DatasetParameters -------------------------
 
@@ -375,3 +404,15 @@ class StageView:
     def irr(self) -> "IrrDatabase":
         self._need(Stage.IRR, "irr")
         return self._dataset.irr
+
+    # -- analysis --------------------------------------------------------------
+
+    @property
+    def analysis(self) -> "AnalysisEngine":
+        """The one-pass analyzer engine over the compiled measurement index.
+
+        Built lazily and memoised per dataset, so every experiment in a
+        suite run shares one index instead of re-walking the raw tables.
+        """
+        self._need(Stage.ANALYSIS, "analysis")
+        return self._dataset.analysis_engine()

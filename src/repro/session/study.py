@@ -1,8 +1,8 @@
 """The staged, cacheable Study — the session API's central object.
 
 A :class:`Study` is a lazy pipeline over a :class:`~repro.session.stages.StudyConfig`:
-each stage (topology, policies, propagation, observation, irr) is built on
-first use and stored in a content-addressed :class:`~repro.session.cache.StageCache`
+each stage (topology, policies, propagation, observation, irr, analysis) is
+built on first use and stored in a content-addressed :class:`~repro.session.cache.StageCache`
 keyed by the stage's parameters plus its upstream keys.  Studies derived with
 :meth:`Study.with_` share the cache, so overriding a downstream stage reuses
 every upstream artifact already built::
@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from repro.data.dataset import ASInfo, DatasetParameters, StudyDataset
 from repro.data.rpsl import IrrDatabase
 from repro.session.cache import GLOBAL_CACHE, StageCache, fingerprint
 from repro.session.stages import (
     ALL_STAGES,
+    AnalysisParameters,
     IrrParameters,
     ObservationArtifact,
     ObservationParameters,
@@ -42,6 +44,9 @@ from repro.simulation.fastpath import FastPropagationEngine
 from repro.simulation.policies import PolicyGenerator, PolicyParameters
 from repro.simulation.propagation import PropagationEngine, SimulationResult
 from repro.topology.generator import GeneratorParameters, InternetGenerator, SyntheticInternet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.engine import AnalysisEngine
 
 #: Regions used to synthesise the Table 1 style inventory.
 _REGIONS = ("NA", "Eu", "Au", "As")
@@ -82,6 +87,7 @@ class Study:
         policy: PolicyParameters | None = None,
         observation: ObservationParameters | None = None,
         irr: IrrParameters | None = None,
+        analysis: AnalysisParameters | None = None,
     ) -> "Study":
         """A study with some stages overridden, sharing this study's cache.
 
@@ -95,6 +101,7 @@ class Study:
                 ("policy", policy),
                 ("observation", observation),
                 ("irr", irr),
+                ("analysis", analysis),
             )
             if value is not None
         }
@@ -149,6 +156,16 @@ class Study:
             )
         if stage is Stage.IRR:
             return fingerprint(Stage.IRR, self.stage_key(Stage.POLICIES), config.irr)
+        if stage is Stage.ANALYSIS:
+            # The index compiles every observed artifact, so its address
+            # covers the full upstream pipeline (observation subsumes
+            # topology/policies/propagation) plus the IRR.
+            return fingerprint(
+                Stage.ANALYSIS,
+                self.stage_key(Stage.OBSERVATION),
+                self.stage_key(Stage.IRR),
+                config.analysis,
+            )
         raise ValueError(f"unknown stage: {stage!r}")
 
     def _build(self, stage: Stage, builder) -> object:
@@ -285,6 +302,20 @@ class Study:
 
         return self._build(Stage.IRR, build)
 
+    def analysis(self) -> "AnalysisEngine":
+        """The one-pass analyzer engine over the compiled index (stage 6).
+
+        The engine itself is memoised on the assembled dataset (so bare
+        ``StudyDataset`` consumers share it); routing the build through the
+        stage cache additionally records hit/miss accounting and lets
+        ``run_suite`` amortise one index across every experiment of a suite.
+        """
+
+        def build() -> "AnalysisEngine":
+            return self.dataset().analysis_engine()
+
+        return self._build(Stage.ANALYSIS, build)
+
     # -- assembly --------------------------------------------------------------
 
     def dataset(self) -> StudyDataset:
@@ -313,6 +344,7 @@ class Study:
             vantage_ases=list(plan.vantage_ases),
             looking_glass_ases=list(plan.looking_glass_ases),
             as_info=dict(observed.as_info),
+            analysis_parameters=self.config.analysis,
         )
 
     def view(self, requires: frozenset[Stage] = ALL_STAGES) -> StageView:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.exceptions import ExperimentError
-from repro.session.stages import StageView
+from repro.session.stages import Stage, StageView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.data.dataset import StudyDataset
@@ -178,7 +178,18 @@ def run_suite(
 
     selected = sorted(set(ids)) if ids is not None else experiment_ids()
     classes = {identifier: experiment_class(identifier) for identifier in selected}
-    dataset = study.dataset() if hasattr(study, "dataset") else study
+    is_study = hasattr(study, "dataset")
+    dataset = study.dataset() if is_study else study
+    if any(Stage.ANALYSIS in cls.requires for cls in classes.values()):
+        # Compile the measurement index once, up front: every
+        # analysis-backed experiment then shares it instead of racing to
+        # build it inside the worker pool.  A Study routes through the stage
+        # cache (recording hit/miss accounting); a bare dataset goes through
+        # its own memo.
+        if is_study:
+            study.analysis()
+        else:
+            dataset.analysis_engine()
 
     def run_one(identifier: str) -> ExperimentReport:
         cls = classes[identifier]

@@ -1,0 +1,197 @@
+"""Golden equivalence suite: AnalysisEngine ≡ legacy repro.core analyzers.
+
+The engine's contract is result identity with the legacy analyzers for the
+same dataset.  This suite runs both sides on every registered scenario and
+compares the result objects with plain ``==`` — dataclass equality covers
+every field, including orderings (list fields) the engine must replicate
+bit for bit (atom order, atypical-example order, mismatch order, ...).
+
+Datasets are built through the global stage cache, so they are shared with
+the rest of the test session instead of rebuilt per test.
+"""
+
+import pytest
+
+from repro.analysis.persistence import persistence_series, uptime_distribution
+from repro.core.atoms import PolicyAtomAnalyzer
+from repro.core.causes import CauseAnalyzer
+from repro.core.community import CommunityAnalyzer
+from repro.core.consistency import ConsistencyAnalyzer
+from repro.core.export_policy import ExportPolicyAnalyzer
+from repro.core.import_policy import ImportPolicyAnalyzer
+from repro.core.peer_export import PeerExportAnalyzer
+from repro.core.persistence import PersistenceAnalyzer
+from repro.core.verification import Verifier
+from repro.experiments.common import persistence_snapshots
+from repro.relationships.gao import GaoInference
+from repro.session.scenarios import get_scenario, scenario_names
+
+SCENARIOS = sorted(scenario_names())
+
+_CONTEXTS: dict[str, dict] = {}
+
+
+def _context(name: str) -> dict:
+    """Dataset, engine and shared legacy intermediates for one scenario."""
+    ctx = _CONTEXTS.get(name)
+    if ctx is None:
+        dataset = get_scenario(name).study().dataset()
+        graph = dataset.ground_truth_graph
+        providers = dataset.providers_under_study(3)
+        tables = {p: dataset.result.table_of(p) for p in providers}
+        reports = ExportPolicyAnalyzer(graph).analyze_providers(
+            tables, known_customer_prefixes=dataset.internet.originated
+        )
+        glasses = [dataset.looking_glass_of(a) for a in dataset.looking_glass_ases]
+        tagging = [
+            dataset.looking_glass_of(a)
+            for a in dataset.looking_glass_ases
+            if dataset.assignment.policies[a].community_plan is not None
+        ]
+        ctx = _CONTEXTS[name] = {
+            "dataset": dataset,
+            "engine": dataset.analysis_engine(),
+            "graph": graph,
+            "providers": providers,
+            "tables": tables,
+            "reports": reports,
+            "glasses": glasses,
+            "tagging": tagging,
+        }
+    return ctx
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_atoms_equivalent(scenario):
+    ctx = _context(scenario)
+    legacy = PolicyAtomAnalyzer().compute_atoms(ctx["dataset"].collector)
+    assert ctx["engine"].atoms() == legacy
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_import_typicality_equivalent(scenario):
+    ctx = _context(scenario)
+    analyzer = ImportPolicyAnalyzer(ctx["graph"])
+    assert ctx["engine"].import_typicality() == analyzer.analyze_many(ctx["glasses"])
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_irr_typicality_equivalent(scenario):
+    ctx = _context(scenario)
+    analyzer = ImportPolicyAnalyzer(ctx["graph"])
+    assert ctx["engine"].irr_typicality(min_neighbors=5) == analyzer.analyze_irr(
+        ctx["dataset"].irr, min_neighbors=5
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_consistency_equivalent(scenario):
+    ctx = _context(scenario)
+    analyzer = ConsistencyAnalyzer()
+    assert ctx["engine"].consistency_by_as() == analyzer.analyze_many(ctx["glasses"])
+    biggest = max(ctx["glasses"], key=lambda g: len(list(g.table.prefixes())))
+    assert ctx["engine"].biggest_glass_asn() == biggest.asn
+    assert ctx["engine"].consistency_by_router(
+        router_count=30
+    ) == analyzer.analyze_routers(biggest, router_count=30)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_sa_reports_equivalent(scenario):
+    ctx = _context(scenario)
+    assert ctx["engine"].sa_reports() == ctx["reports"]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_all_provider_reports_equivalent(scenario):
+    ctx = _context(scenario)
+    graph = ctx["graph"]
+    dataset = ctx["dataset"]
+    legacy = ExportPolicyAnalyzer(graph).analyze_providers(
+        {
+            asn: dataset.result.table_of(asn)
+            for asn in dataset.result.observed_ases
+            if graph.customers_of(asn)
+        },
+        known_customer_prefixes=dataset.internet.originated,
+    )
+    assert ctx["engine"].all_provider_reports() == legacy
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_customer_sa_equivalent(scenario):
+    ctx = _context(scenario)
+    legacy = ExportPolicyAnalyzer(ctx["graph"]).analyze_customers(
+        ctx["reports"], ctx["tables"]
+    )
+    assert ctx["engine"].customer_sa_reports() == legacy
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_peer_export_equivalent(scenario):
+    ctx = _context(scenario)
+    legacy = PeerExportAnalyzer(ctx["graph"]).analyze_many(
+        ctx["tables"], originated=ctx["dataset"].internet.originated
+    )
+    assert ctx["engine"].peer_export_reports() == legacy
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_causes_equivalent(scenario):
+    ctx = _context(scenario)
+    analyzer = CauseAnalyzer(ctx["graph"])
+    engine = ctx["engine"]
+    for provider, report in ctx["reports"].items():
+        assert engine.homing_breakdown(provider) == analyzer.homing_breakdown(report)
+        assert engine.cause_breakdown(provider) == analyzer.cause_breakdown(
+            report, ctx["tables"][provider]
+        )
+        assert engine.case3(provider) == analyzer.case3_analysis(
+            report, ctx["dataset"].collector
+        )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_community_equivalent(scenario):
+    ctx = _context(scenario)
+    analyzer = CommunityAnalyzer()
+    engine = ctx["engine"]
+    assert engine.tagging_asns() == [g.asn for g in ctx["tagging"]]
+    for glass in ctx["tagging"]:
+        assert engine.neighbor_signatures(glass.asn) == analyzer.neighbor_signatures(
+            glass
+        )
+        assert engine.infer_semantics(glass.asn) == analyzer.infer_semantics(glass)
+    for glass in ctx["glasses"]:
+        assert engine.prefix_counts_by_rank(glass.asn) == analyzer.prefix_counts_by_rank(
+            glass
+        )
+        assert engine.glass_neighbors(glass.asn) == glass.neighbors()
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_relationship_verification_equivalent(scenario):
+    ctx = _context(scenario)
+    inferred = GaoInference().infer(ctx["dataset"].collector.all_paths()).graph
+    legacy = Verifier(inferred, CommunityAnalyzer()).verify_relationships(ctx["tagging"])
+    assert ctx["engine"].verify_relationships() == legacy
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_sa_verification_equivalent(scenario):
+    ctx = _context(scenario)
+    legacy = Verifier(ctx["graph"]).verify_many(
+        ctx["reports"], ctx["dataset"].collector
+    )
+    assert ctx["engine"].verify_sa_prefixes() == legacy
+
+
+def test_persistence_equivalent():
+    provider, snapshots, graph = persistence_snapshots(8, 99)
+    analyzer = PersistenceAnalyzer(graph)
+    assert persistence_series(
+        list(snapshots), provider, graph
+    ) == analyzer.series_for_provider(list(snapshots), provider)
+    assert uptime_distribution(
+        list(snapshots), provider, graph
+    ) == analyzer.uptime_distribution(list(snapshots), provider)

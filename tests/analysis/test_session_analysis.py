@@ -1,0 +1,139 @@
+"""Session-layer integration of the ANALYSIS stage."""
+
+import pytest
+
+from repro.exceptions import ExperimentError, SimulationError
+from repro.session.cache import StageCache
+from repro.session.scenarios import get_scenario
+from repro.session.stages import (
+    ALL_STAGES,
+    AnalysisParameters,
+    Stage,
+    StageView,
+    StudyConfig,
+)
+from repro.session.study import Study
+from repro.session.suite import run_suite
+from repro.topology.generator import GeneratorParameters
+
+#: A deliberately tiny configuration so stage builds stay cheap.
+TINY = StudyConfig(
+    topology=GeneratorParameters(
+        seed=3, tier1_count=3, tier2_count=4, tier3_count=6, stub_count=24
+    )
+)
+
+
+@pytest.fixture()
+def cache():
+    return StageCache()
+
+
+@pytest.fixture()
+def study(cache):
+    return Study(TINY, cache=cache)
+
+
+class TestStageWiring:
+    def test_analysis_is_a_stage(self):
+        assert Stage.ANALYSIS in ALL_STAGES
+        assert Stage.ANALYSIS.value == "analysis"
+
+    def test_analysis_stage_key_depends_on_parameters(self, cache):
+        base = Study(TINY, cache=cache)
+        tweaked = Study(
+            StudyConfig(
+                topology=TINY.topology,
+                analysis=AnalysisParameters(study_provider_count=2),
+            ),
+            cache=cache,
+        )
+        assert base.stage_key(Stage.ANALYSIS) != tweaked.stage_key(Stage.ANALYSIS)
+        # Upstream stages are untouched by analysis parameters.
+        assert base.stage_key(Stage.OBSERVATION) == tweaked.stage_key(Stage.OBSERVATION)
+
+    def test_analysis_stage_key_depends_on_upstream(self, cache):
+        base = Study(TINY, cache=cache)
+        reseeded = base.seeded(99)
+        assert base.stage_key(Stage.ANALYSIS) != reseeded.stage_key(Stage.ANALYSIS)
+
+    def test_parameters_validate(self):
+        with pytest.raises(SimulationError):
+            AnalysisParameters(study_provider_count=0).validate()
+
+
+class TestEngineCaching:
+    def test_study_analysis_is_cached(self, study, cache):
+        first = study.analysis()
+        second = study.analysis()
+        assert first is second
+        stats = cache.stats_for(Stage.ANALYSIS.value)
+        assert stats.builds == 1
+        assert stats.hits == 1
+
+    def test_engine_memoised_on_dataset(self, study):
+        dataset = study.dataset()
+        assert dataset.analysis_engine() is dataset.analysis_engine()
+        assert study.analysis() is dataset.analysis_engine()
+
+    def test_engine_honours_config_parameters(self, cache):
+        study = Study(
+            StudyConfig(
+                topology=TINY.topology,
+                analysis=AnalysisParameters(study_provider_count=2),
+            ),
+            cache=cache,
+        )
+        engine = study.analysis()
+        assert engine.provider_count == 2
+        assert len(engine.sa_reports()) == 2
+
+
+class TestStageViewGating:
+    def test_analysis_gated(self, study):
+        view = StageView(study.dataset(), frozenset({Stage.TOPOLOGY}))
+        with pytest.raises(ExperimentError):
+            _ = view.analysis
+
+    def test_analysis_allowed(self, study):
+        view = StageView(study.dataset(), frozenset({Stage.ANALYSIS}))
+        assert view.analysis is study.analysis()
+
+
+class TestSuiteAmortisation:
+    def test_run_suite_builds_the_index_once(self, study, cache):
+        report = run_suite(study, ["table2", "table7", "atoms", "case3"], workers=4)
+        assert [r.experiment_id for r in report.experiments] == [
+            "atoms",
+            "case3",
+            "table2",
+            "table7",
+        ]
+        assert cache.stats_for(Stage.ANALYSIS.value).builds == 1
+
+    def test_run_suite_accepts_a_bare_dataset(self, study):
+        # StudyDataset exposes `analysis` as a property; the pre-compile
+        # hook must not try to call it like Study's method.
+        report = run_suite(study.dataset(), ["table2", "case3"])
+        assert [r.experiment_id for r in report.experiments] == ["case3", "table2"]
+
+    def test_common_helpers_honour_study_provider_count(self, cache):
+        from repro.experiments.common import provider_tables, sa_reports
+
+        study = Study(
+            StudyConfig(
+                topology=TINY.topology,
+                analysis=AnalysisParameters(study_provider_count=2),
+            ),
+            cache=cache,
+        )
+        dataset = study.dataset()
+        assert len(sa_reports(dataset)) == 2
+        assert len(provider_tables(dataset)) == 2
+
+    def test_suite_content_identical_across_workers(self, study):
+        serial = run_suite(study, ["table5", "table9", "fig2"], workers=1)
+        parallel = run_suite(study, ["table5", "table9", "fig2"], workers=4)
+        assert serial.to_json(include_timing=False) == parallel.to_json(
+            include_timing=False
+        )

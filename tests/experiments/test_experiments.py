@@ -60,17 +60,10 @@ class TestRegistry:
 
 
 class TestEveryExperimentRuns:
-    @pytest.fixture(autouse=True)
-    def _isolated_common_caches(self):
-        # The shared memo caches are filled through whichever view computes a
-        # product first; clearing them per case makes every experiment reach
-        # the dataset through its own restricted view, so the requires
-        # declaration is genuinely exercised (not satisfied by a cache hit).
-        from repro.experiments import common
-
-        common._sa_cache.clear()
-        common._table_cache.clear()
-        yield
+    # The shared analysis engine is memoised on the dataset, but the stage
+    # gate sits on `StageView.analysis` itself, so each experiment's declared
+    # requires is genuinely exercised regardless of which view touched the
+    # engine first.
 
     @pytest.mark.parametrize(
         "experiment_id",

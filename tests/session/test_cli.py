@@ -73,6 +73,21 @@ class TestCommands:
         suite = json.loads((tmp_path / "suite.json").read_text())
         assert suite["experiments"][0]["experiment_id"] == "table1"
 
+    def test_index_prints_size_counters(self, capsys):
+        out = run_cli(capsys, "index", "--scenario", "small")
+        for counter in ("collector_rows", "interned_prefixes", "observed_tables"):
+            assert counter in out
+
+    def test_index_json_schema(self, capsys):
+        out = run_cli(capsys, "index", "--scenario", "small", "--json")
+        payload = json.loads(out)
+        assert payload["collector_rows"] > 0
+        assert payload["interned_paths"] > 0
+        assert "build_seconds" in payload
+
+    def test_index_unknown_scenario_fails_cleanly(self, capsys):
+        assert cli_main(["index", "--scenario", "nope"]) == 2
+
     def test_unknown_scenario_fails_cleanly(self, capsys):
         assert cli_main(["run", "table1", "--scenario", "nope"]) == 2
         err = capsys.readouterr().err

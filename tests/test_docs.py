@@ -1,0 +1,19 @@
+"""The docs reference checker passes on the committed tree (and can fail)."""
+
+from scripts.check_docs import _resolve_reference, main
+
+
+def test_docs_references_all_resolve():
+    assert main() == 0
+
+
+def test_resolver_accepts_modules_and_attributes():
+    assert _resolve_reference("repro.analysis")
+    assert _resolve_reference("repro.analysis.engine.AnalysisEngine")
+    assert _resolve_reference("repro.core.export_policy.ExportPolicyAnalyzer.find_sa_prefixes")
+
+
+def test_resolver_rejects_missing_names():
+    assert not _resolve_reference("repro.no_such_module")
+    assert not _resolve_reference("repro.core.atoms.NoSuchAnalyzer")
+    assert not _resolve_reference("repro.analysis.engine.AnalysisEngine.no_such_method")
