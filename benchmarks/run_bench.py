@@ -37,7 +37,7 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.session.cache import StageCache  # noqa: E402
-from repro.session.scenarios import get_scenario  # noqa: E402
+from repro.session.scenarios import resolve_scenario  # noqa: E402
 from repro.simulation.fastpath import FastPropagationEngine, compile_topology  # noqa: E402
 from repro.simulation.propagation import PropagationEngine  # noqa: E402
 
@@ -89,7 +89,7 @@ def run_benchmarks(
 ) -> list[dict]:
     results = []
     for name in scenarios:
-        study = get_scenario(name).study(cache=StageCache())
+        study = resolve_scenario(name).study(cache=StageCache())
         internet = study.topology()
         plan = study.policies()
         print(f"[{name}] timing legacy engine ...", file=sys.stderr)
@@ -309,7 +309,7 @@ def run_analysis_benchmarks(scenarios: list[str], repeats: int) -> list[dict]:
     results = []
     for name in scenarios:
         print(f"[{name}] building dataset ...", file=sys.stderr)
-        dataset = get_scenario(name).study(cache=StageCache()).dataset()
+        dataset = resolve_scenario(name).study(cache=StageCache()).dataset()
 
         legacy_best = None
         legacy_timings: dict[str, float] = {}
@@ -371,7 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         dest="scenarios",
         metavar="NAME",
-        help="scenario preset to benchmark (repeatable; default: small, standard)",
+        help="scenario preset or family sample ('family@seed', e.g. "
+        "multihoming@7) to benchmark (repeatable; default: small, standard)",
     )
     parser.add_argument(
         "--workers",

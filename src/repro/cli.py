@@ -5,12 +5,16 @@ Usage::
     python -m repro run                          # every experiment, standard scenario
     python -m repro run table5 fig2 --scenario small
     python -m repro run --scenario large --workers 4 --json
+    python -m repro run --scenario multihoming@7 # one scenario-family sample
     python -m repro run table5 --seed 42 --output-dir out/
     python -m repro run --engine legacy          # original propagation engine
     python -m repro run --propagation-workers 4  # shard prefix propagation
     python -m repro list                         # experiment ids + required stages
-    python -m repro scenarios                    # scenario presets
+    python -m repro scenarios                    # scenario presets + families
+    python -m repro scenarios --json             # the same, machine-readable
     python -m repro index --scenario small       # compile + size the measurement index
+    python -m repro fuzz --family peering-density --count 25 --seed 7
+    python -m repro fuzz --count 5 --workers 4   # every family, 5 cases each
 
 ``python -m repro.experiments`` remains as a thin compatibility shim over
 ``python -m repro run``.
@@ -23,7 +27,7 @@ import pathlib
 import sys
 
 from repro.exceptions import ReproError
-from repro.session.scenarios import all_scenarios, get_scenario
+from repro.session.scenarios import all_families, all_scenarios, resolve_scenario
 from repro.session.stages import PropagationSettings
 from repro.session.suite import SuiteReport, run_suite
 
@@ -45,7 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scenario",
         default="standard",
-        help="scenario preset to run against (see 'scenarios'; default: standard)",
+        help="scenario preset or family sample ('family@seed') to run against "
+        "(see 'scenarios'; default: standard)",
     )
     run.add_argument(
         "--seed",
@@ -88,7 +93,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("list", help="list experiment identifiers and required stages")
-    commands.add_parser("scenarios", help="list scenario presets")
+
+    scenarios = commands.add_parser(
+        "scenarios", help="list scenario presets and scenario families"
+    )
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the presets and families as JSON instead of aligned text",
+    )
 
     index = commands.add_parser(
         "index",
@@ -97,13 +111,51 @@ def _build_parser() -> argparse.ArgumentParser:
     index.add_argument(
         "--scenario",
         default="standard",
-        help="scenario preset to compile (default: standard)",
+        help="scenario preset or family sample ('family@seed') to compile "
+        "(default: standard)",
     )
     index.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
         help="print the counters as JSON instead of aligned text",
+    )
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzz: sample scenario families, run fast-vs-legacy "
+        "propagation and indexed-vs-legacy analysis, check paper invariants",
+    )
+    fuzz.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        metavar="NAME",
+        help="scenario family to sample (repeatable; default: every family)",
+    )
+    fuzz.add_argument(
+        "--count",
+        type=int,
+        default=5,
+        help="cases per family; case i uses seed SEED+i (default: 5)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="base case seed (default: 7)",
+    )
+    fuzz.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for independent cases (default: 1)",
+    )
+    fuzz.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the structured FuzzReport as JSON instead of the summary",
     )
     return parser
 
@@ -113,7 +165,7 @@ def _command_run(args: argparse.Namespace) -> int:
         engine=args.engine, workers=args.propagation_workers
     )
     settings.validate()
-    study = get_scenario(args.scenario).study(propagation=settings)
+    study = resolve_scenario(args.scenario).study(propagation=settings)
     if args.seed is not None:
         study = study.seeded(args.seed)
     report = run_suite(
@@ -145,7 +197,7 @@ def _command_index(args: argparse.Namespace) -> int:
     import json
     import time
 
-    study = get_scenario(args.scenario).study()
+    study = resolve_scenario(args.scenario).study()
     started = time.perf_counter()
     engine = study.analysis()
     build_seconds = time.perf_counter() - started
@@ -170,10 +222,57 @@ def _command_list() -> int:
     return 0
 
 
-def _command_scenarios() -> int:
-    for scenario in all_scenarios():
-        print(f"{scenario.name:20s} {scenario.description}")
+def _command_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    scenarios = all_scenarios()
+    families = all_families()
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "scenarios": [
+                        {"name": scenario.name, "description": scenario.description}
+                        for scenario in scenarios
+                    ],
+                    "families": [
+                        {
+                            "name": family.name,
+                            "description": family.description,
+                            "parameter": family.parameter,
+                        }
+                        for family in families
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print("scenario presets:")
+    for scenario in scenarios:
+        print(f"  {scenario.name:20s} {scenario.description}")
+    print()
+    print("scenario families (sample with --scenario NAME@SEED or 'fuzz --family'):")
+    for family in families:
+        print(f"  {family.name:20s} {family.description}")
+        print(f"  {'':20s}   {family.parameter}")
     return 0
+
+
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        args.families,
+        count=args.count,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -186,7 +285,9 @@ def main(argv: list[str] | None = None) -> int:
             return _command_list()
         if args.command == "index":
             return _command_index(args)
-        return _command_scenarios()
+        if args.command == "fuzz":
+            return _command_fuzz(args)
+        return _command_scenarios(args)
     except BrokenPipeError:  # e.g. `python -m repro run | head`
         return 0
     except ReproError as error:  # unknown scenario/experiment, bad workers, ...

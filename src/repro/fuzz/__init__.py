@@ -1,0 +1,42 @@
+"""repro.fuzz — scenario families plus the differential fuzz harness.
+
+The golden suites pin the fast propagation engine and the one-pass
+analysis engine to their legacy counterparts on five *fixed* scenarios;
+this package extends that contract to unbounded scenario diversity:
+
+* :mod:`repro.fuzz.families` — the built-in
+  :class:`~repro.session.scenarios.ScenarioFamily` samplers
+  (``peering-density``, ``multihoming``, ``hierarchy-depth``,
+  ``community-adoption``, ``collector-size``), deterministic from a seed.
+* :mod:`repro.fuzz.oracles` — differential oracles (fast = legacy
+  propagation, indexed = legacy analysis) and metamorphic/ground-truth
+  oracles (valley-freeness, inference adjacency, atom refinement,
+  SA-prefix partitions, consistency fractions, peer-export monotonicity).
+* :mod:`repro.fuzz.harness` — :func:`run_fuzz`, the CLI's engine
+  (``python -m repro fuzz``): samples, runs both engine pairs, judges all
+  oracles, and prints the ``(family, seed)`` pair that reproduces any
+  failure.
+"""
+
+from repro.fuzz import families  # noqa: F401  (registers the built-in families)
+from repro.fuzz.harness import (
+    FuzzCaseResult,
+    FuzzReport,
+    OracleFailure,
+    build_context,
+    run_case,
+    run_fuzz,
+)
+from repro.fuzz.oracles import ORACLES, FuzzContext, OracleViolation
+
+__all__ = [
+    "ORACLES",
+    "FuzzCaseResult",
+    "FuzzContext",
+    "FuzzReport",
+    "OracleFailure",
+    "OracleViolation",
+    "build_context",
+    "run_case",
+    "run_fuzz",
+]

@@ -1,0 +1,262 @@
+"""Built-in scenario families: seeded samplers over the scenario space.
+
+Each family varies one axis of the paper's measurement setup while drawing
+every other knob (topology sizes, stage seeds, policy mix) from the same
+seeded random source, so a handful of samples already covers far more
+structural diversity than the five registered presets:
+
+* ``peering-density(p)`` — lateral peering probability from none to
+  near-mesh, stressing peer-route selection and the Table 10 analyses.
+* ``multihoming(k)`` — stub multihoming rate and provider fan-out, the
+  paper's main cause of SA prefixes (Table 8).
+* ``hierarchy-depth(d)`` — two- vs three-tier transit hierarchies and how
+  often stubs attach straight to Tier-1s.
+* ``community-adoption(r)`` — how many ASes tag relationship communities
+  (Table 4 / Appendix) and how much prefix-based LOCAL_PREF noise exists.
+* ``collector-size(n)`` — how many vantage ASes peer with the collector
+  (the paper's Oregon server has 56; small collectors starve the
+  inference).
+
+Samplers are pure functions of the seed: they derive everything from one
+``random.Random`` keyed on ``(family name, seed)`` (string seeding is
+deterministic across processes), so a failing fuzz case is reproducible
+from the ``(family, seed)`` pair alone.
+
+Topologies stay deliberately small (~45-90 ASes): the fuzz harness runs the
+*legacy* propagation engine and the *legacy* analyzers on every sample as
+the differential baseline, and small samples keep hundreds of cases cheap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.session.scenarios import register_family
+from repro.session.stages import IrrParameters, ObservationParameters, StudyConfig
+from repro.simulation.policies import PolicyParameters
+from repro.topology.generator import GeneratorParameters
+
+#: Upper bound (exclusive) for derived stage seeds.
+_SEED_SPACE = 1 << 30
+
+
+def _family_rng(family: str, seed: int) -> random.Random:
+    """The deterministic random source of one ``(family, seed)`` sample.
+
+    Args:
+        family: the family name (part of the stream key, so two families
+            sampled at the same seed draw independent streams).
+        seed: the sample seed.
+
+    Returns:
+        A ``random.Random`` seeded on a string key — CPython hashes string
+        seeds with SHA-512, so the stream is identical in every process.
+    """
+    return random.Random(f"repro.fuzz:{family}:{seed}")
+
+
+def _observation(rng: random.Random, tier1_count: int) -> ObservationParameters:
+    """A small, valid observation plan drawn from ``rng``.
+
+    Args:
+        rng: the sample's random source.
+        tier1_count: size of the sampled Tier-1 clique (bounds how many
+            Tier-1 Looking Glasses can exist).
+
+    Returns:
+        Observation parameters with 4-7 Looking Glasses and a 6-12 peer
+        collector.
+    """
+    looking_glass_count = rng.randint(4, 7)
+    return ObservationParameters(
+        looking_glass_count=looking_glass_count,
+        tier1_looking_glass_count=min(rng.randint(1, 3), tier1_count, looking_glass_count),
+        collector_vantage_count=rng.randint(6, 12),
+        seed=rng.randrange(_SEED_SPACE),
+    )
+
+
+def _policy(rng: random.Random, **overrides: float) -> PolicyParameters:
+    """Policy parameters with a derived seed plus per-family overrides.
+
+    Args:
+        rng: the sample's random source.
+        **overrides: keyword overrides forwarded to
+            :class:`~repro.simulation.policies.PolicyParameters`.
+
+    Returns:
+        The policy parameter set of the sample.
+    """
+    return PolicyParameters(seed=rng.randrange(_SEED_SPACE), **overrides)
+
+
+def _irr(rng: random.Random) -> IrrParameters:
+    """IRR parameters with a derived seed and a varied registration rate."""
+    return IrrParameters(
+        registration_probability=round(rng.uniform(0.5, 0.9), 3),
+        stale_probability=round(rng.uniform(0.05, 0.3), 3),
+        seed=rng.randrange(_SEED_SPACE),
+    )
+
+
+def _topology(rng: random.Random, tier1_count: int, **overrides) -> GeneratorParameters:
+    """A small fuzz-sized topology with a derived seed.
+
+    Args:
+        rng: the sample's random source.
+        tier1_count: size of the Tier-1 clique.
+        **overrides: keyword overrides forwarded to
+            :class:`~repro.topology.generator.GeneratorParameters`.
+
+    Returns:
+        Generator parameters for a ~45-90 AS synthetic Internet.
+    """
+    base = dict(
+        seed=rng.randrange(_SEED_SPACE),
+        tier1_count=tier1_count,
+        tier2_count=rng.randint(5, 8),
+        tier3_count=rng.randint(6, 10),
+        stub_count=rng.randint(28, 44),
+        prefixes_per_stub=rng.randint(2, 3),
+    )
+    base.update(overrides)
+    return GeneratorParameters(**base)
+
+
+def _sample_peering_density(seed: int) -> StudyConfig:
+    """Sample ``peering-density``: lateral peering from none to near-mesh."""
+    rng = _family_rng("peering-density", seed)
+    density = rng.uniform(0.0, 0.9)
+    tier1_count = rng.randint(3, 5)
+    topology = _topology(
+        rng,
+        tier1_count,
+        tier2_peering_probability=round(density, 3),
+        tier3_peering_probability=round(density / 3, 3),
+        stub_peering_probability=round(density / 20, 4),
+    )
+    return StudyConfig(
+        topology=topology,
+        policy=_policy(rng),
+        observation=_observation(rng, tier1_count),
+        irr=_irr(rng),
+    )
+
+
+def _sample_multihoming(seed: int) -> StudyConfig:
+    """Sample ``multihoming``: stub multihoming rate and provider fan-out."""
+    rng = _family_rng("multihoming", seed)
+    multihoming = rng.uniform(0.0, 1.0)
+    max_providers = rng.randint(2, 4)
+    tier1_count = rng.randint(3, 5)
+    topology = _topology(
+        rng,
+        tier1_count,
+        stub_multihoming_probability=round(multihoming, 3),
+        max_stub_providers=max_providers,
+        stub_tier1_probability=round(rng.uniform(0.1, 0.5), 3),
+    )
+    return StudyConfig(
+        topology=topology,
+        policy=_policy(
+            rng,
+            selective_announcement_probability=round(rng.uniform(0.2, 0.7), 3),
+        ),
+        observation=_observation(rng, tier1_count),
+        irr=_irr(rng),
+    )
+
+
+def _sample_hierarchy_depth(seed: int) -> StudyConfig:
+    """Sample ``hierarchy-depth``: two- vs three-tier transit hierarchies."""
+    rng = _family_rng("hierarchy-depth", seed)
+    depth = rng.choice((2, 3))
+    tier1_count = rng.randint(3, 5)
+    topology = _topology(
+        rng,
+        tier1_count,
+        tier3_count=0 if depth == 2 else rng.randint(6, 12),
+        stub_tier1_probability=round(rng.uniform(0.05, 0.6), 3),
+    )
+    return StudyConfig(
+        topology=topology,
+        policy=_policy(rng),
+        observation=_observation(rng, tier1_count),
+        irr=_irr(rng),
+    )
+
+
+def _sample_community_adoption(seed: int) -> StudyConfig:
+    """Sample ``community-adoption``: tagging rate and LOCAL_PREF noise."""
+    rng = _family_rng("community-adoption", seed)
+    adoption = rng.uniform(0.0, 1.0)
+    tier1_count = rng.randint(3, 5)
+    topology = _topology(rng, tier1_count)
+    return StudyConfig(
+        topology=topology,
+        policy=_policy(
+            rng,
+            community_tagging_probability=round(adoption, 3),
+            prefix_based_fraction=round(rng.uniform(0.0, 0.08), 4),
+            atypical_scheme_probability=round(rng.uniform(0.0, 0.06), 4),
+        ),
+        observation=_observation(rng, tier1_count),
+        irr=_irr(rng),
+    )
+
+
+def _sample_collector_size(seed: int) -> StudyConfig:
+    """Sample ``collector-size``: vantage counts from starved to Oregon-like."""
+    rng = _family_rng("collector-size", seed)
+    vantage_count = rng.randint(4, 28)
+    tier1_count = rng.randint(3, 5)
+    topology = _topology(rng, tier1_count)
+    looking_glass_count = rng.randint(4, 10)
+    observation = ObservationParameters(
+        looking_glass_count=looking_glass_count,
+        tier1_looking_glass_count=min(rng.randint(1, 3), tier1_count, looking_glass_count),
+        collector_vantage_count=vantage_count,
+        seed=rng.randrange(_SEED_SPACE),
+    )
+    return StudyConfig(
+        topology=topology,
+        policy=_policy(rng),
+        observation=observation,
+        irr=_irr(rng),
+    )
+
+
+register_family(
+    "peering-density",
+    "lateral peering probability swept from none to near-mesh",
+    "p = tier-2 peering probability in [0, 0.9] (tier-3 p/3, stubs p/20)",
+    _sample_peering_density,
+)
+
+register_family(
+    "multihoming",
+    "stub multihoming rate and provider fan-out (the main SA-prefix cause)",
+    "m in [0, 1] multihoming probability, k in [2, 4] max providers",
+    _sample_multihoming,
+)
+
+register_family(
+    "hierarchy-depth",
+    "two- vs three-tier transit hierarchies with varied Tier-1 stub attach",
+    "d in {2, 3} transit tiers, stub->Tier-1 attach probability in [0.05, 0.6]",
+    _sample_hierarchy_depth,
+)
+
+register_family(
+    "community-adoption",
+    "fraction of ASes tagging relationship communities, plus LOCAL_PREF noise",
+    "r in [0, 1] tagging probability, prefix-based LOCAL_PREF fraction in [0, 0.08]",
+    _sample_community_adoption,
+)
+
+register_family(
+    "collector-size",
+    "collector vantage count from starved (4 peers) to Oregon-like (28 peers)",
+    "n in [4, 28] collector vantage ASes, 4-10 Looking Glasses",
+    _sample_collector_size,
+)

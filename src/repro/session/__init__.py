@@ -7,7 +7,9 @@ each built lazily and cached by content-addressed keys:
 * :class:`Study` — the staged pipeline; ``study.with_(policy=...)`` derives
   a variant that reuses every upstream artifact already built.
 * :mod:`repro.session.scenarios` — named presets (``standard``, ``small``,
-  ``dense-peering``, ``sparse-multihoming``, ``large``).
+  ``dense-peering``, ``sparse-multihoming``, ``large``) plus seeded
+  :class:`ScenarioFamily` samplers (``peering-density``, ``multihoming``,
+  ...) whose samples are addressable as ``family@seed`` scenarios.
 * :func:`run_suite` — executes experiments (each declaring the stages it
   ``requires``) concurrently over the shared read-only dataset and returns a
   structured, JSON-serializable :class:`SuiteReport`.
@@ -41,9 +43,15 @@ from repro.session.stages import (
 from repro.session.study import Study, study_from_dataset_parameters
 from repro.session.scenarios import (
     Scenario,
+    ScenarioFamily,
+    all_families,
     all_scenarios,
+    family_names,
+    get_family,
     get_scenario,
+    register_family,
     register_scenario,
+    resolve_scenario,
     scenario_names,
 )
 from repro.session.suite import ExperimentReport, SuiteReport, run_suite
@@ -59,6 +67,7 @@ __all__ = [
     "PolicyStageArtifact",
     "PropagationSettings",
     "Scenario",
+    "ScenarioFamily",
     "Stage",
     "StageCache",
     "StageStats",
@@ -66,10 +75,15 @@ __all__ = [
     "Study",
     "StudyConfig",
     "SuiteReport",
+    "all_families",
     "all_scenarios",
+    "family_names",
     "fingerprint",
+    "get_family",
     "get_scenario",
+    "register_family",
     "register_scenario",
+    "resolve_scenario",
     "run_suite",
     "scenario_names",
     "study_from_dataset_parameters",

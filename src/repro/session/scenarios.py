@@ -1,4 +1,4 @@
-"""Named scenario presets — one registration away from a new workload.
+"""Named scenario presets and parameterized scenario families.
 
 A scenario is a named, documented :class:`~repro.session.stages.StudyConfig`
 factory.  The built-ins cover the configurations the repo has needed so far:
@@ -13,8 +13,19 @@ factory.  The built-ins cover the configurations the repo has needed so far:
   :class:`~repro.topology.generator.GeneratorParameters`' defaults with an
   Oregon-scale collector (56 peers).
 
-Register new ones with :func:`register_scenario`; the CLI
-(``python -m repro scenarios``) lists whatever is registered.
+A :class:`ScenarioFamily` generalises a preset into an *unbounded* space of
+scenarios: a deterministic sampler from an integer seed to a
+:class:`~repro.session.stages.StudyConfig`.  The built-in families
+(``peering-density``, ``multihoming``, ``hierarchy-depth``,
+``community-adoption``, ``collector-size``) live in
+:mod:`repro.fuzz.families` and are the substrate of the differential fuzz
+harness (``python -m repro fuzz``).  A single sample is addressable
+everywhere a preset name is accepted via the ``family@seed`` spelling
+(:func:`resolve_scenario`), e.g. ``python -m repro run --scenario
+multihoming@7``.
+
+Register new ones with :func:`register_scenario` / :func:`register_family`;
+the CLI (``python -m repro scenarios``) lists whatever is registered.
 """
 
 from __future__ import annotations
@@ -68,9 +79,15 @@ _SCENARIOS: dict[str, Scenario] = {}
 def register_scenario(
     name: str, description: str, config_factory: Callable[[], StudyConfig]
 ) -> Scenario:
-    """Register a named scenario; raises on duplicates."""
+    """Register a named scenario; raises on duplicates (presets or families)."""
     if name in _SCENARIOS:
         raise ExperimentError(f"duplicate scenario name: {name!r}")
+    # Checked against the raw registry (not via family_names()) so the
+    # built-in preset registrations below never trigger the family import.
+    if name in _FAMILIES:
+        raise ExperimentError(
+            f"scenario {name!r} collides with a scenario family of that name"
+        )
     scenario = Scenario(name=name, description=description, config_factory=config_factory)
     _SCENARIOS[name] = scenario
     return scenario
@@ -98,6 +115,139 @@ def all_scenarios() -> list[Scenario]:
 def scenario_names() -> list[str]:
     """The registered scenario names, sorted."""
     return sorted(_SCENARIOS)
+
+
+# -- scenario families -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A parameterized, seeded family of scenarios.
+
+    A family is a deterministic sampler ``seed -> StudyConfig``: the same
+    ``(family, seed)`` pair always produces the same configuration, in any
+    process (samplers must not depend on ``PYTHONHASHSEED`` or global
+    state).  That makes every sample reproducible from the two values the
+    fuzz harness prints on failure.
+
+    Attributes:
+        name: registry identifier (``"peering-density"``, ...).
+        description: one-line summary shown by ``python -m repro scenarios``.
+        parameter: human-readable description of the knob(s) the family
+            varies, e.g. ``"p = lateral peering probability in [0, 0.9]"``.
+        sampler: the deterministic ``seed -> StudyConfig`` function.
+    """
+
+    name: str
+    description: str
+    parameter: str
+    sampler: Callable[[int], StudyConfig]
+
+    def sample(self, seed: int) -> StudyConfig:
+        """The (validated) study configuration sampled at ``seed``."""
+        config = self.sampler(seed)
+        config.validate()
+        return config
+
+    def scenario(self, seed: int) -> Scenario:
+        """One sample wrapped as an ad-hoc :class:`Scenario` (``name@seed``)."""
+        config = self.sample(seed)
+        return Scenario(
+            name=f"{self.name}@{seed}",
+            description=f"sample of the {self.name!r} family at seed {seed}",
+            config_factory=lambda: config,
+        )
+
+    def study(
+        self,
+        seed: int,
+        *,
+        cache: StageCache | None = None,
+        propagation: PropagationSettings | None = None,
+    ) -> Study:
+        """A :class:`Study` of the sample at ``seed``."""
+        return Study(self.sample(seed), cache=cache, propagation=propagation)
+
+
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def _load_builtin_families() -> None:
+    """Import the built-in family definitions (registered on import)."""
+    import repro.fuzz.families  # noqa: F401  (imported for its registrations)
+
+
+def register_family(
+    name: str, description: str, parameter: str, sampler: Callable[[int], StudyConfig]
+) -> ScenarioFamily:
+    """Register a named scenario family; raises on duplicates."""
+    if name in _FAMILIES:
+        raise ExperimentError(f"duplicate scenario family name: {name!r}")
+    if name in _SCENARIOS:
+        raise ExperimentError(
+            f"scenario family {name!r} collides with a scenario preset of that name"
+        )
+    family = ScenarioFamily(
+        name=name, description=description, parameter=parameter, sampler=sampler
+    )
+    _FAMILIES[name] = family
+    return family
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a scenario family by name.
+
+    Raises:
+        ExperimentError: for unknown names.
+    """
+    _load_builtin_families()
+    family = _FAMILIES.get(name)
+    if family is None:
+        raise ExperimentError(
+            f"unknown scenario family {name!r}; known: {sorted(_FAMILIES)}"
+        )
+    return family
+
+
+def all_families() -> list[ScenarioFamily]:
+    """Every registered scenario family, ordered by name."""
+    _load_builtin_families()
+    return [_FAMILIES[name] for name in sorted(_FAMILIES)]
+
+
+def family_names() -> list[str]:
+    """The registered scenario family names, sorted."""
+    _load_builtin_families()
+    return sorted(_FAMILIES)
+
+
+def resolve_scenario(spec: str) -> Scenario:
+    """A scenario preset by name, or one family sample via ``family@seed``.
+
+    ``resolve_scenario("small")`` is :func:`get_scenario`;
+    ``resolve_scenario("multihoming@7")`` samples the ``multihoming`` family
+    at seed 7.  Every CLI/bench entry point that accepts ``--scenario``
+    resolves through here, so family samples are first-class scenarios.
+
+    Raises:
+        ExperimentError: for unknown presets/families or a malformed seed.
+    """
+    if "@" in spec:
+        family_name, _, seed_text = spec.rpartition("@")
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ExperimentError(
+                f"bad scenario sample {spec!r}: expected 'family@seed' with an "
+                f"integer seed, e.g. 'peering-density@7'"
+            ) from None
+        return get_family(family_name).scenario(seed)
+    if spec not in _SCENARIOS and spec in family_names():
+        raise ExperimentError(
+            f"{spec!r} is a scenario family, not a preset; sample it with an "
+            f"explicit seed, e.g. '{spec}@7'"
+        )
+    return get_scenario(spec)
 
 
 # -- built-in presets --------------------------------------------------------------

@@ -186,6 +186,20 @@ def test_sa_verification_equivalent(scenario):
     assert ctx["engine"].verify_sa_prefixes() == legacy
 
 
+def test_fuzz_oracle_checks_the_same_surface():
+    """The fuzz harness's analysis oracle passes on a golden scenario.
+
+    The per-query tests above localise failures; this bridge test keeps the
+    shared ``check_analysis_equivalence`` oracle (what ``python -m repro
+    fuzz`` runs on sampled scenarios) green on the golden scenarios too, so
+    the two suites cannot silently drift apart.
+    """
+    from repro.fuzz.oracles import check_analysis_equivalence
+
+    ctx = _context("small")
+    check_analysis_equivalence(ctx["dataset"], ctx["engine"])
+
+
 def test_persistence_equivalent():
     provider, snapshots, graph = persistence_snapshots(8, 99)
     analyzer = PersistenceAnalyzer(graph)

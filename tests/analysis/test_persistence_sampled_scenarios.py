@@ -1,0 +1,123 @@
+"""Persistence paths (Timeline, Figs. 6/7) on sampled non-preset scenarios.
+
+The golden persistence test runs on one fixed small Internet; here the
+timeline and the snapshot-sharing ``analysis.persistence`` fast path are
+exercised on scenario-family samples — topologies nobody hand-picked —
+under *both* propagation engines, asserting (a) the engines produce
+identical snapshot series and (b) the snapshot-sharing analysis equals the
+legacy :class:`~repro.core.persistence.PersistenceAnalyzer` on every one.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.persistence import SnapshotSACore, persistence_series, uptime_distribution
+from repro.core.persistence import PersistenceAnalyzer
+from repro.session.scenarios import get_family
+from repro.simulation.policies import PolicyGenerator
+from repro.simulation.timeline import Timeline, TimelineParameters
+from repro.topology.generator import InternetGenerator
+
+#: Two sampled (family, seed) scenarios — deliberately not presets.
+SAMPLES = (("multihoming", 3), ("peering-density", 5))
+
+SNAPSHOT_COUNT = 4
+
+_CACHE: dict[tuple[str, int], dict] = {}
+
+
+def _timeline_case(family: str, seed: int) -> dict:
+    """Internet, provider and both engines' snapshot runs for one sample."""
+    case = _CACHE.get((family, seed))
+    if case is None:
+        config = get_family(family).sample(seed)
+        internet = InternetGenerator(config.topology).generate()
+        assignment = PolicyGenerator(config.policy).generate(internet)
+        provider = max(internet.tier1, key=internet.graph.degree)
+        parameters = TimelineParameters(
+            snapshot_count=SNAPSHOT_COUNT,
+            churn_probability=0.2,
+            appear_probability=0.05,
+            disappear_probability=0.05,
+            seed=seed,
+        )
+        snapshots = {
+            engine: Timeline(
+                internet,
+                assignment,
+                observed_ases=[provider],
+                parameters=parameters,
+                engine=engine,
+            ).run()
+            for engine in ("fast", "legacy")
+        }
+        case = _CACHE[(family, seed)] = {
+            "internet": internet,
+            "provider": provider,
+            "snapshots": snapshots,
+        }
+    return case
+
+
+def _snapshot_content(snapshot, provider):
+    table = snapshot.result.table_of(provider)
+    return {
+        entry.prefix: (Counter(entry.routes), entry.best) for entry in table.entries()
+    }
+
+
+@pytest.mark.parametrize("family,seed", SAMPLES)
+def test_fast_and_legacy_timelines_agree(family, seed):
+    case = _timeline_case(family, seed)
+    fast, legacy = case["snapshots"]["fast"], case["snapshots"]["legacy"]
+    assert len(fast) == len(legacy) == SNAPSHOT_COUNT
+    for fast_snapshot, legacy_snapshot in zip(fast, legacy):
+        assert fast_snapshot.index == legacy_snapshot.index
+        assert fast_snapshot.changed_origins == legacy_snapshot.changed_origins
+        assert _snapshot_content(fast_snapshot, case["provider"]) == _snapshot_content(
+            legacy_snapshot, case["provider"]
+        )
+
+
+@pytest.mark.parametrize("family,seed", SAMPLES)
+def test_fig6_series_matches_legacy_analyzer(family, seed):
+    case = _timeline_case(family, seed)
+    graph = case["internet"].graph
+    snapshots = case["snapshots"]["fast"]
+    provider = case["provider"]
+    legacy = PersistenceAnalyzer(graph).series_for_provider(snapshots, provider)
+    assert persistence_series(snapshots, provider, graph) == legacy
+    assert legacy.snapshot_indices == list(range(SNAPSHOT_COUNT))
+
+
+@pytest.mark.parametrize("family,seed", SAMPLES)
+def test_fig7_uptime_matches_legacy_analyzer(family, seed):
+    case = _timeline_case(family, seed)
+    graph = case["internet"].graph
+    snapshots = case["snapshots"]["fast"]
+    provider = case["provider"]
+    legacy = PersistenceAnalyzer(graph).uptime_distribution(snapshots, provider)
+    distribution = uptime_distribution(snapshots, provider, graph)
+    assert distribution == legacy
+    assert all(1 <= count <= SNAPSHOT_COUNT for count in distribution.uptime.values())
+    assert all(
+        distribution.sa_uptime[prefix] <= distribution.uptime[prefix]
+        for prefix in distribution.sa_uptime
+    )
+
+
+@pytest.mark.parametrize("family,seed", SAMPLES)
+def test_snapshot_sharing_core_is_equivalent_to_fresh_analyzers(family, seed):
+    """One shared SnapshotSACore across Figs. 6 and 7 changes nothing."""
+    case = _timeline_case(family, seed)
+    graph = case["internet"].graph
+    snapshots = case["snapshots"]["fast"]
+    provider = case["provider"]
+    core = SnapshotSACore(graph)
+    assert persistence_series(snapshots, provider, graph, core=core) == (
+        persistence_series(snapshots, provider, graph)
+    )
+    assert uptime_distribution(snapshots, provider, graph, core=core) == (
+        uptime_distribution(snapshots, provider, graph)
+    )

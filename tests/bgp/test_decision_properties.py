@@ -1,30 +1,16 @@
 """Property-based tests for the decision process."""
 
 from hypothesis import given, strategies as st
+from strategies import decision_routes
 
-from repro.bgp.attributes import Origin
 from repro.bgp.decision import DecisionProcess, DecisionStep
-from repro.bgp.route import Route, RouteSource
-from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
 
 PREFIX = Prefix.parse("10.0.0.0/16")
 
 
 def routes():
-    return st.builds(
-        Route,
-        prefix=st.just(PREFIX),
-        as_path=st.lists(
-            st.integers(min_value=1, max_value=500), min_size=1, max_size=6
-        ).map(ASPath),
-        local_pref=st.integers(min_value=0, max_value=200),
-        origin=st.sampled_from(list(Origin)),
-        med=st.integers(min_value=0, max_value=100),
-        source=st.sampled_from([RouteSource.EBGP, RouteSource.IBGP]),
-        igp_metric=st.integers(min_value=0, max_value=50),
-        router_id=st.integers(min_value=1, max_value=30),
-    )
+    return decision_routes(PREFIX)
 
 
 decision = DecisionProcess()

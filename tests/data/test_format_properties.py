@@ -3,10 +3,9 @@
 import io
 
 from hypothesis import given, settings, strategies as st
+from strategies import format_routes as routes
 
-from repro.bgp.attributes import Community, CommunitySet, Origin
 from repro.bgp.rib import LocRib
-from repro.bgp.route import Route
 from repro.data.mrt import MrtReader, MrtWriter
 from repro.data.rpsl import AutNumObject, PolicyLine
 from repro.data.show_ip_bgp import (
@@ -15,34 +14,7 @@ from repro.data.show_ip_bgp import (
     parse_show_ip_bgp_detail,
     parse_show_ip_bgp_table,
 )
-from repro.net.aspath import ASPath
 from repro.net.prefix import Prefix
-
-
-def communities():
-    return st.builds(
-        Community,
-        asn=st.integers(min_value=1, max_value=65535),
-        value=st.integers(min_value=0, max_value=65535),
-    )
-
-
-def routes():
-    return st.builds(
-        Route,
-        prefix=st.builds(
-            Prefix,
-            network=st.integers(min_value=0, max_value=0xFFFFFFFF),
-            length=st.integers(min_value=8, max_value=28),
-        ),
-        as_path=st.lists(
-            st.integers(min_value=1, max_value=65000), min_size=1, max_size=6
-        ).map(ASPath),
-        local_pref=st.integers(min_value=0, max_value=400),
-        med=st.integers(min_value=0, max_value=1000),
-        origin=st.sampled_from(list(Origin)),
-        communities=st.lists(communities(), max_size=4).map(CommunitySet),
-    )
 
 
 @settings(max_examples=40, deadline=None)

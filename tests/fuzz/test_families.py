@@ -1,0 +1,123 @@
+"""Tests for the scenario-family registry and the built-in samplers."""
+
+import pytest
+from hypothesis import given, settings
+from strategies import seeds
+
+from repro.exceptions import ExperimentError
+from repro.session import StudyConfig, fingerprint
+from repro.session.scenarios import (
+    _FAMILIES,
+    all_families,
+    family_names,
+    get_family,
+    register_family,
+    resolve_scenario,
+)
+
+BUILTIN_FAMILIES = {
+    "peering-density",
+    "multihoming",
+    "hierarchy-depth",
+    "community-adoption",
+    "collector-size",
+}
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert BUILTIN_FAMILIES <= set(family_names())
+
+    def test_all_families_sorted_and_documented(self):
+        families = all_families()
+        assert [f.name for f in families] == sorted(f.name for f in families)
+        assert all(f.description and f.parameter for f in families)
+
+    def test_get_family_unknown_name(self):
+        with pytest.raises(ExperimentError, match="unknown scenario family"):
+            get_family("does-not-exist")
+
+    def test_register_rejects_duplicate_family(self):
+        with pytest.raises(ExperimentError, match="duplicate scenario family"):
+            register_family(
+                "multihoming", "again", "m", lambda seed: StudyConfig()
+            )
+
+    def test_register_rejects_preset_collision(self):
+        with pytest.raises(ExperimentError, match="collides with a scenario preset"):
+            register_family(
+                "standard", "shadowing a preset", "-", lambda seed: StudyConfig()
+            )
+
+    def test_register_new_family(self):
+        _FAMILIES.pop("tiny-family-test", None)
+        family = register_family(
+            "tiny-family-test", "registered on the fly", "-", lambda seed: StudyConfig()
+        )
+        try:
+            assert get_family("tiny-family-test") is family
+            assert family.sample(1) == StudyConfig()
+        finally:
+            _FAMILIES.pop("tiny-family-test", None)
+
+
+class TestSamplers:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds())
+    def test_sampling_is_deterministic(self, seed):
+        for family in all_families():
+            first = family.sample(seed)
+            second = family.sample(seed)
+            assert first == second
+            assert fingerprint(first) == fingerprint(second)
+
+    def test_samples_vary_with_the_seed(self):
+        for family in all_families():
+            configs = {family.sample(seed) for seed in range(1, 6)}
+            assert len(configs) > 1, f"{family.name} ignores its seed"
+
+    def test_samples_validate(self):
+        for family in all_families():
+            for seed in range(1, 4):
+                family.sample(seed).validate()  # raises on an invalid draw
+
+    def test_hierarchy_depth_reaches_two_tier_samples(self):
+        family = get_family("hierarchy-depth")
+        depths = {family.sample(seed).topology.tier3_count == 0 for seed in range(1, 20)}
+        assert depths == {True, False}, "both depths should appear within 19 seeds"
+
+    def test_collector_size_sweeps_the_vantage_count(self):
+        family = get_family("collector-size")
+        counts = {
+            family.sample(seed).observation.collector_vantage_count
+            for seed in range(1, 20)
+        }
+        assert len(counts) >= 5
+
+
+class TestResolveScenario:
+    def test_resolves_presets(self):
+        assert resolve_scenario("small").name == "small"
+
+    def test_resolves_family_samples(self):
+        scenario = resolve_scenario("multihoming@7")
+        assert scenario.name == "multihoming@7"
+        assert scenario.config() == get_family("multihoming").sample(7)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(ExperimentError, match="integer seed"):
+            resolve_scenario("multihoming@seven")
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ExperimentError, match="unknown scenario family"):
+            resolve_scenario("nope@3")
+
+    def test_bare_family_name_suggests_a_seed(self):
+        with pytest.raises(ExperimentError, match="sample it with an explicit seed"):
+            resolve_scenario("multihoming")
+
+    def test_presets_cannot_shadow_families(self):
+        from repro.session.scenarios import register_scenario
+
+        with pytest.raises(ExperimentError, match="collides with a scenario family"):
+            register_scenario("multihoming", "shadowing a family", StudyConfig)

@@ -1,0 +1,102 @@
+"""Tests for run_fuzz, the FuzzReport schema and the `python -m repro fuzz` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ExperimentError
+from repro.fuzz import ORACLES, run_case, run_fuzz
+from repro.fuzz.harness import FuzzCaseResult, FuzzReport, OracleFailure
+
+
+class TestRunFuzz:
+    def test_unknown_family_fails_before_any_simulation(self):
+        with pytest.raises(ExperimentError, match="unknown scenario family"):
+            run_fuzz(["nope"], count=1)
+
+    def test_invalid_count_and_workers(self):
+        with pytest.raises(ExperimentError, match="count"):
+            run_fuzz(["multihoming"], count=0)
+        with pytest.raises(ExperimentError, match="workers"):
+            run_fuzz(["multihoming"], count=1, workers=0)
+
+    def test_single_case_runs_every_oracle(self):
+        result = run_case("collector-size", 2)
+        assert result.ok
+        assert result.oracles_passed == [name for name, _ in ORACLES]
+        assert result.config_fingerprint
+        assert "--seed 2 --count 1" in result.reproduction
+
+    def test_report_covers_every_requested_case(self):
+        report = run_fuzz(["hierarchy-depth"], count=2, seed=11)
+        assert report.ok
+        assert [(case.family, case.seed) for case in report.cases] == [
+            ("hierarchy-depth", 11),
+            ("hierarchy-depth", 12),
+        ]
+
+    def test_json_schema_and_timing_mask(self):
+        report = run_fuzz(["community-adoption"], count=1, seed=4)
+        payload = json.loads(report.to_json())
+        assert list(payload) == [
+            "families", "count", "base_seed", "ok", "cases", "workers", "total_seconds",
+        ]
+        (case,) = payload["cases"]
+        assert case["family"] == "community-adoption"
+        assert case["seed"] == 4
+        assert case["ok"] is True
+        masked = json.loads(report.to_json(include_timing=False))
+        assert masked["total_seconds"] is None
+        assert masked["cases"][0]["seconds"] is None
+
+
+class TestRendering:
+    def test_failures_render_with_a_reproduction_line(self):
+        report = FuzzReport(
+            families=["multihoming"],
+            count=1,
+            base_seed=9,
+            cases=[
+                FuzzCaseResult(
+                    family="multihoming",
+                    seed=9,
+                    config_fingerprint="abc",
+                    oracles_passed=["valley-free"],
+                    failures=[OracleFailure(oracle="sa-partitions", message="boom")],
+                )
+            ],
+        )
+        assert not report.ok
+        text = report.render()
+        assert "FAIL" in text
+        assert "oracle=sa-partitions: boom" in text
+        assert "reproduce: python -m repro fuzz --family multihoming --seed 9 --count 1" in text
+
+    def test_clean_report_renders_ok_lines(self):
+        report = run_fuzz(["peering-density"], count=1, seed=7)
+        text = report.render()
+        assert "ok   peering-density" in text
+        assert "summary: 1 cases, 1 ok, 0 failing" in text
+
+
+class TestFuzzCli:
+    def test_fuzz_command_passes(self, capsys):
+        assert cli_main(
+            ["fuzz", "--family", "peering-density", "--count", "1", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ok   peering-density" in out
+
+    def test_fuzz_json_output(self, capsys):
+        assert cli_main(
+            ["fuzz", "--family", "collector-size", "--count", "1", "--seed", "3",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cases"][0]["family"] == "collector-size"
+
+    def test_fuzz_unknown_family_fails_cleanly(self, capsys):
+        assert cli_main(["fuzz", "--family", "nope", "--count", "1"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err

@@ -1,16 +1,9 @@
 """Property-based tests for the prefix algebra (hypothesis)."""
 
 from hypothesis import given, strategies as st
+from strategies import prefixes
 
 from repro.net.prefix import IPV4_MAX, Prefix, aggregate_prefixes, format_ipv4, parse_ipv4
-
-
-def prefixes(min_length=0, max_length=32):
-    return st.builds(
-        Prefix,
-        network=st.integers(min_value=0, max_value=IPV4_MAX),
-        length=st.integers(min_value=min_length, max_value=max_length),
-    )
 
 
 @given(st.integers(min_value=0, max_value=IPV4_MAX))

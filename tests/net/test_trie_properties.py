@@ -1,17 +1,9 @@
 """Property-based tests for the radix trie (hypothesis)."""
 
 from hypothesis import given, settings, strategies as st
+from strategies import prefixes
 
-from repro.net.prefix import IPV4_MAX, Prefix
 from repro.net.trie import PrefixTrie
-
-
-def prefixes(min_length=0, max_length=32):
-    return st.builds(
-        Prefix,
-        network=st.integers(min_value=0, max_value=IPV4_MAX),
-        length=st.integers(min_value=min_length, max_value=max_length),
-    )
 
 
 prefix_lists = st.lists(prefixes(), max_size=60)

@@ -50,6 +50,37 @@ class TestCommands:
         for name in ("standard", "small", "dense-peering", "sparse-multihoming", "large"):
             assert name in out
 
+    def test_scenarios_lists_families(self, capsys):
+        out = run_cli(capsys, "scenarios")
+        assert "scenario families" in out
+        for name in (
+            "peering-density",
+            "multihoming",
+            "hierarchy-depth",
+            "community-adoption",
+            "collector-size",
+        ):
+            assert name in out
+
+    def test_scenarios_json_schema(self, capsys):
+        payload = json.loads(run_cli(capsys, "scenarios", "--json"))
+        assert list(payload) == ["scenarios", "families"]
+        preset_names = {entry["name"] for entry in payload["scenarios"]}
+        assert "standard" in preset_names
+        family_names = {entry["name"] for entry in payload["families"]}
+        assert "peering-density" in family_names
+        assert all(
+            entry["description"] and entry["parameter"] for entry in payload["families"]
+        )
+
+    def test_run_accepts_family_sample_scenarios(self, capsys):
+        out = run_cli(capsys, "run", "table1", "--scenario", "multihoming@3", "--json")
+        assert json.loads(out)["scenario"] == "multihoming@3"
+
+    def test_malformed_family_sample_fails_cleanly(self, capsys):
+        assert cli_main(["run", "table1", "--scenario", "multihoming@x"]) == 2
+        assert "integer seed" in capsys.readouterr().err
+
     def test_run_renders_ascii_tables(self, capsys):
         out = run_cli(capsys, "run", "table1", "--scenario", "small")
         assert "table1" in out

@@ -5,12 +5,16 @@ same observed tables (candidates, best routes, attributes), same message
 counts, same truncated prefixes — for every registered scenario and for both
 the in-process and the process-pool execution paths.  This suite is the
 gate that keeps hot-path optimizations honest.
-"""
 
-from collections import Counter
+The comparison itself lives in :mod:`repro.fuzz.oracles`
+(``check_propagation_equivalence``) and is shared with the differential
+fuzz harness, so the golden suite and the fuzzer always check the same
+surface.
+"""
 
 import pytest
 
+from repro.fuzz.oracles import check_propagation_equivalence
 from repro.session.cache import StageCache
 from repro.session.scenarios import get_scenario, scenario_names
 from repro.simulation.fastpath import FastPropagationEngine
@@ -36,26 +40,9 @@ def _scenario_runs(name: str):
     return cached
 
 
-def table_snapshot(result: SimulationResult) -> dict:
-    """Order-insensitive semantic content of every observed table."""
-    snapshot = {}
-    for asn in result.observed_ases:
-        table = result.table_of(asn)
-        snapshot[asn] = {
-            entry.prefix: (Counter(entry.routes), entry.best)
-            for entry in table.entries()
-        }
-    return snapshot
-
-
 def assert_equivalent(legacy: SimulationResult, fast: SimulationResult) -> None:
-    assert fast.message_count == legacy.message_count
-    assert fast.truncated_prefixes == legacy.truncated_prefixes
-    assert fast.observed_ases == legacy.observed_ases
-    legacy_tables = table_snapshot(legacy)
-    fast_tables = table_snapshot(fast)
-    for asn in legacy.observed_ases:
-        assert fast_tables[asn] == legacy_tables[asn], f"table mismatch at AS{asn}"
+    # Raises OracleViolation (with the divergence named) on any mismatch.
+    check_propagation_equivalence(legacy, fast)
 
 
 @pytest.mark.parametrize("workers", WORKER_COUNTS)

@@ -1,26 +1,16 @@
 """Property-based tests of the propagation engine over random tiny Internets."""
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from strategies import seeds, tiny_internet
 
 from repro.bgp.route import NeighborKind
 from repro.core.export_policy import ExportPolicyAnalyzer
 from repro.simulation.policies import PolicyGenerator, PolicyParameters
 from repro.simulation.propagation import PropagationEngine
-from repro.topology.generator import GeneratorParameters, InternetGenerator
-
-
-def tiny_internet(seed):
-    return InternetGenerator(
-        GeneratorParameters(
-            seed=seed, tier1_count=3, tier2_count=4, tier3_count=6, stub_count=18,
-            prefixes_per_stub=2,
-        )
-    ).generate()
 
 
 @settings(max_examples=8, deadline=None)
-@given(seed=st.integers(min_value=1, max_value=10_000))
+@given(seed=seeds())
 def test_baseline_propagation_invariants(seed):
     """Without selective policies: full reachability, valley-free, loop-free."""
     internet = tiny_internet(seed)
@@ -54,7 +44,7 @@ def test_baseline_propagation_invariants(seed):
 
 
 @settings(max_examples=8, deadline=None)
-@given(seed=st.integers(min_value=1, max_value=10_000))
+@given(seed=seeds())
 def test_policied_propagation_invariants(seed):
     """With generated policies: still valley-free, convergent, SA prefixes trace
     back to configured selective/scoped announcements or selective transits."""
@@ -81,7 +71,7 @@ def test_policied_propagation_invariants(seed):
 
 
 @settings(max_examples=6, deadline=None)
-@given(seed=st.integers(min_value=1, max_value=10_000))
+@given(seed=seeds())
 def test_propagation_is_deterministic(seed):
     """Two runs with identical inputs produce identical observed tables."""
     internet = tiny_internet(seed)

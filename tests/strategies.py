@@ -1,0 +1,94 @@
+"""Shared Hypothesis strategies and tiny-topology builders for the test suite.
+
+One home for the generators that used to be copy-pasted across the
+``test_*_properties.py`` files: prefixes, communities, AS paths, routes
+(both the format-roundtrip flavour and the decision-process flavour with
+every tie-breaker attribute), and the small seeded Internets the
+propagation properties and the fuzz-harness unit tests sample.
+
+Import as ``from strategies import prefixes, ...`` — ``tests/conftest.py``
+puts this directory on ``sys.path`` for every test module.
+"""
+
+from hypothesis import strategies as st
+
+from repro.bgp.attributes import Community, CommunitySet, Origin
+from repro.bgp.route import Route, RouteSource
+from repro.net.aspath import ASPath
+from repro.net.prefix import IPV4_MAX, Prefix
+from repro.topology.generator import GeneratorParameters, InternetGenerator
+
+
+def prefixes(min_length=0, max_length=32):
+    """Arbitrary IPv4 prefixes with lengths in ``[min_length, max_length]``."""
+    return st.builds(
+        Prefix,
+        network=st.integers(min_value=0, max_value=IPV4_MAX),
+        length=st.integers(min_value=min_length, max_value=max_length),
+    )
+
+
+def communities():
+    """Arbitrary ``asn:value`` BGP communities."""
+    return st.builds(
+        Community,
+        asn=st.integers(min_value=1, max_value=65535),
+        value=st.integers(min_value=0, max_value=65535),
+    )
+
+
+def as_paths(min_size=1, max_size=6, max_asn=65000):
+    """Arbitrary loop-unaware AS paths of bounded length."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max_asn), min_size=min_size, max_size=max_size
+    ).map(ASPath)
+
+
+def seeds(max_value=10_000):
+    """Positive integer seeds for seeded generators."""
+    return st.integers(min_value=1, max_value=max_value)
+
+
+def format_routes():
+    """Routes with the attributes the on-disk formats must round-trip."""
+    return st.builds(
+        Route,
+        prefix=prefixes(min_length=8, max_length=28),
+        as_path=as_paths(),
+        local_pref=st.integers(min_value=0, max_value=400),
+        med=st.integers(min_value=0, max_value=1000),
+        origin=st.sampled_from(list(Origin)),
+        communities=st.lists(communities(), max_size=4).map(CommunitySet),
+    )
+
+
+def decision_routes(prefix):
+    """Routes to one fixed prefix exercising every decision tie-breaker."""
+    return st.builds(
+        Route,
+        prefix=st.just(prefix),
+        as_path=as_paths(max_asn=500),
+        local_pref=st.integers(min_value=0, max_value=200),
+        origin=st.sampled_from(list(Origin)),
+        med=st.integers(min_value=0, max_value=100),
+        source=st.sampled_from([RouteSource.EBGP, RouteSource.IBGP]),
+        igp_metric=st.integers(min_value=0, max_value=50),
+        router_id=st.integers(min_value=1, max_value=30),
+    )
+
+
+def tiny_generator_parameters(seed):
+    """The ~30-AS topology parameters the property tests simulate on."""
+    return GeneratorParameters(
+        seed=seed,
+        tier1_count=3,
+        tier2_count=4,
+        tier3_count=6,
+        stub_count=18,
+        prefixes_per_stub=2,
+    )
+
+
+def tiny_internet(seed):
+    """A generated ~30-AS Internet, cheap enough for per-example simulation."""
+    return InternetGenerator(tiny_generator_parameters(seed)).generate()
