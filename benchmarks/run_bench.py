@@ -1,6 +1,6 @@
-"""Benchmarks: propagation engines and the analyzer pass, scenario × JSON.
+"""Benchmarks: propagation engines, the analyzer pass and warm-cache sweeps.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``propagation`` (default) — times the legacy and fast propagation engines
   (``BENCH_propagation.json``).
@@ -9,6 +9,11 @@ Two suites, selected with ``--suite``:
   through the compiled :class:`~repro.analysis.index.MeasurementIndex` +
   :class:`~repro.analysis.engine.AnalysisEngine` (index build *included* in
   the timed engine pass).  Writes ``BENCH_analysis.json``.
+* ``sweep`` — times a multi-scenario ``repro sweep`` cold (empty artifact
+  store) versus warm (same store, fresh sweep directory) and verifies the
+  warm run served every case from the durable store with byte-identical
+  reports; also interrupts a sweep mid-flight and checks the resume path.
+  Writes ``BENCH_sweep.json``.
 
 Usage::
 
@@ -17,11 +22,13 @@ Usage::
     python benchmarks/run_bench.py --suite analysis --scenario large
     python benchmarks/run_bench.py --suite analysis --full
     python benchmarks/run_bench.py --full                # adds the large scenario
+    python benchmarks/run_bench.py --suite sweep         # 20 sampled scenarios
+    python benchmarks/run_bench.py --suite sweep --workers 4
 
-Both suites cross-check the timed runs against the golden behaviour (the
+All suites cross-check the timed runs against the golden behaviour (the
 propagation suite compares message counts, the analysis suite compares the
-actual result objects) — a benchmark that drifts fails loudly instead of
-reporting a meaningless speedup.
+actual result objects, the sweep suite compares report bytes) — a benchmark
+that drifts fails loudly instead of reporting a meaningless speedup.
 """
 
 from __future__ import annotations
@@ -44,6 +51,21 @@ from repro.simulation.propagation import PropagationEngine  # noqa: E402
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = _ROOT / "BENCH_propagation.json"
 DEFAULT_ANALYSIS_OUTPUT = _ROOT / "BENCH_analysis.json"
+DEFAULT_SWEEP_OUTPUT = _ROOT / "BENCH_sweep.json"
+
+#: Default sweep-bench case list: four samples of each scenario family —
+#: 20 distinct sampled scenarios.
+SWEEP_CASES = [
+    f"{family}@{seed}"
+    for family in (
+        "peering-density",
+        "multihoming",
+        "hierarchy-depth",
+        "community-adoption",
+        "collector-size",
+    )
+    for seed in range(4)
+]
 
 
 def _time_legacy(internet, plan, repeats: int) -> tuple[float, int]:
@@ -357,14 +379,115 @@ def run_analysis_benchmarks(scenarios: list[str], repeats: int) -> list[dict]:
     return results
 
 
+# -- the warm-cache sweep suite -----------------------------------------------------
+
+
+def _sweep_case_bytes(report) -> dict[str, bytes]:
+    """The per-case report file contents of one sweep, keyed by spec."""
+    return {
+        case.spec: pathlib.Path(case.report_path).read_bytes()
+        for case in report.cases
+        if case.report_path
+    }
+
+
+def run_sweep_benchmarks(
+    cases: list[str], workers: int, quick: bool
+) -> list[dict]:
+    """Time a sweep cold vs. warm over one shared artifact store.
+
+    The cold pass starts from an empty store; the warm pass reuses it from
+    a fresh sweep directory, so every case must be served from the durable
+    ``report`` tier.  Byte-identity of every case report and a mid-sweep
+    interrupt/resume are verified before any speedup is reported.
+    """
+    import tempfile
+
+    from repro.session.sweep import SweepInterrupted, run_sweep
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        root = pathlib.Path(tmp)
+        cache_dir = root / "cache"
+        print(
+            f"[sweep] cold pass: {len(cases)} cases, workers={workers} ...",
+            file=sys.stderr,
+        )
+        cold = run_sweep(
+            cases, cache_dir=cache_dir, sweep_dir=root / "cold", workers=workers
+        )
+        if not cold.ok:
+            raise SystemExit(f"cold sweep failed: {cold.render()}")
+        print(
+            f"[sweep] cold: {cold.total_seconds:.2f}s; warm pass ...",
+            file=sys.stderr,
+        )
+        warm = run_sweep(
+            cases, cache_dir=cache_dir, sweep_dir=root / "warm", workers=workers
+        )
+        if warm.count("cached") != len(cases):
+            raise SystemExit(
+                f"warm sweep recomputed cases: {warm.to_json(indent=None)}"
+            )
+        if _sweep_case_bytes(cold) != _sweep_case_bytes(warm):
+            raise SystemExit("warm sweep reports are not byte-identical to cold")
+
+        # Resume correctness: interrupt a fresh sweep after a few cases,
+        # then resume and require every earlier case to be skipped.  The
+        # threshold must leave at least one case unfinished or the hook
+        # never fires (possible with a short --scenario list).
+        interrupt_after = min(2 if quick else 5, max(1, len(cases) - 1))
+        resume_cache = root / "resume-cache"
+        try:
+            run_sweep(
+                cases,
+                cache_dir=resume_cache,
+                workers=workers,
+                fail_after=interrupt_after,
+            )
+            raise SystemExit("sweep interruption hook did not fire")
+        except SweepInterrupted:
+            pass
+        resumed = run_sweep(cases, cache_dir=resume_cache, workers=workers)
+        if not resumed.ok or resumed.count("resumed") < interrupt_after:
+            raise SystemExit(
+                f"sweep resume recomputed finished cases: "
+                f"{resumed.to_json(indent=None)}"
+            )
+
+        speedup = round(cold.total_seconds / warm.total_seconds, 2)
+        print(
+            f"[sweep] warm: {warm.total_seconds:.2f}s -> {speedup}x "
+            f"(resume skipped {resumed.count('resumed')} cases)",
+            file=sys.stderr,
+        )
+        results.append(
+            {
+                "cases": len(cases),
+                "case_specs": list(cases),
+                "workers": workers,
+                "experiments": "all",
+                "cold_seconds": round(cold.total_seconds, 4),
+                "warm_seconds": round(warm.total_seconds, 4),
+                "speedup_warm_vs_cold": speedup,
+                "warm_all_cached": True,
+                "byte_identical_reports": True,
+                "resume_interrupt_after": interrupt_after,
+                "resume_skipped": resumed.count("resumed"),
+            }
+        )
+    return results
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("propagation", "analysis"),
+        choices=("propagation", "analysis", "sweep"),
         default="propagation",
-        help="what to benchmark: the propagation engines (default) or the "
-        "analyzer pass (legacy repro.core vs the compiled measurement index)",
+        help="what to benchmark: the propagation engines (default), the "
+        "analyzer pass (legacy repro.core vs the compiled measurement index) "
+        "or cold-vs-warm multi-scenario sweeps over the artifact store",
     )
     parser.add_argument(
         "--scenario",
@@ -408,7 +531,14 @@ def main(argv: list[str] | None = None) -> int:
         scenarios = ["small", "standard", "large"]
     repeats = 1 if args.quick else max(1, args.repeats)
 
-    if args.suite == "analysis":
+    if args.suite == "sweep":
+        cases = args.scenarios or SWEEP_CASES
+        if args.quick:
+            cases = cases[: min(6, len(cases))]
+        workers = max(args.workers) if args.workers else 1
+        results = run_sweep_benchmarks(cases, workers, args.quick)
+        output = args.output or DEFAULT_SWEEP_OUTPUT
+    elif args.suite == "analysis":
         if args.workers != [1]:
             print(
                 "note: --workers applies only to the propagation suite; "

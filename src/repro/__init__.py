@@ -29,8 +29,12 @@ The package is organised bottom-up:
   (RouteViews-style and Looking Glass), and multi-snapshot timelines.
 * :mod:`repro.data` — on-disk formats (MRT-style dumps, ``show ip bgp`` text,
   RPSL/IRR) and the flat :class:`~repro.data.dataset.StudyDataset` view.
-* :mod:`repro.session` — the staged Study pipeline, the content-addressed
-  stage cache, scenario presets and the ``run_suite`` runner.
+* :mod:`repro.session` — the staged Study pipeline, the two-tier
+  content-addressed stage cache, scenario presets, the ``run_suite`` runner
+  and the resumable ``run_sweep`` orchestrator.
+* :mod:`repro.storage` — the durable artifact store: deterministic binary
+  packing, per-stage codecs and the content-addressed disk tier shared
+  across processes.
 * :mod:`repro.analysis` — the compiled columnar measurement index and the
   one-pass analyzer engine the experiments query (the cached ``analysis``
   stage).
@@ -54,6 +58,7 @@ from repro.exceptions import (
     PrefixError,
     ReproError,
     SimulationError,
+    StorageError,
     TopologyError,
 )
 
@@ -67,6 +72,7 @@ __all__ = [
     "PrefixError",
     "ReproError",
     "SimulationError",
+    "StorageError",
     "TopologyError",
     "__version__",
 ]

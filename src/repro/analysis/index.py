@@ -155,6 +155,14 @@ class MeasurementIndex:
             dataset: the assembled study dataset (flat view); the index
                 keeps references to its graph, collector, tables and IRR.
         """
+        self._attach(dataset)
+        self._build_collector()
+        self._build_glasses()
+        self._build_tables()
+        self._build_irr()
+
+    def _attach(self, dataset: "StudyDataset") -> None:
+        """Bind the source references and initialise empty columns."""
         self.dataset = dataset
         self.graph = dataset.ground_truth_graph
         self.internet = dataset.internet
@@ -187,10 +195,24 @@ class MeasurementIndex:
         self.tables: dict[ASN, TableIndex] = {}
         self.irr_rows: list[IrrRow] = []
 
-        self._build_collector()
-        self._build_glasses()
-        self._build_tables()
-        self._build_irr()
+    @classmethod
+    def hollow(cls, dataset: "StudyDataset") -> "MeasurementIndex":
+        """An index bound to ``dataset`` with empty columns, builders not run.
+
+        Entry point of the analysis storage codec
+        (:mod:`repro.storage.codecs`): the codec restores the interners and
+        columns it persisted, then re-runs only the cheap builders that
+        reference live objects (:meth:`_build_tables`, :meth:`_build_irr`).
+
+        Args:
+            dataset: the assembled study dataset to bind references to.
+
+        Returns:
+            The hollow index (source references set, every column empty).
+        """
+        index = cls.__new__(cls)
+        index._attach(dataset)
+        return index
 
     # -- interning -----------------------------------------------------------
 

@@ -9,27 +9,87 @@ Usage::
     python -m repro run table5 --seed 42 --output-dir out/
     python -m repro run --engine legacy          # original propagation engine
     python -m repro run --propagation-workers 4  # shard prefix propagation
+    python -m repro run --cache-dir .repro-cache # persist stage artifacts on disk
     python -m repro list                         # experiment ids + required stages
     python -m repro scenarios                    # scenario presets + families
     python -m repro scenarios --json             # the same, machine-readable
     python -m repro index --scenario small       # compile + size the measurement index
     python -m repro fuzz --family peering-density --count 25 --seed 7
     python -m repro fuzz --count 5 --workers 4   # every family, 5 cases each
+    python -m repro sweep --family multihoming --count 10 --workers 4
+    python -m repro sweep standard large --cache-dir /shared/cache
+    python -m repro cache stats                  # disk-tier artifact counts
+    python -m repro cache clear                  # drop the disk tier
 
-``python -m repro.experiments`` remains as a thin compatibility shim over
-``python -m repro run``.
+``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) attaches
+the durable artifact store (see ``docs/storage.md``): stage artifacts are
+persisted once and shared by every later process.  ``python -m
+repro.experiments`` remains as a thin compatibility shim over ``python -m
+repro run``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
 from repro.exceptions import ReproError
+from repro.session.cache import CACHE_DIR_ENV, StageCache
 from repro.session.scenarios import all_families, all_scenarios, resolve_scenario
 from repro.session.stages import PropagationSettings
 from repro.session.suite import SuiteReport, run_suite
+from repro.storage.store import DiskStore
+
+#: Default disk-tier directory of cache-aware commands when neither
+#: ``--cache-dir`` nor ``REPRO_CACHE_DIR`` is set.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _cache_dir_from(args: argparse.Namespace, *, required: bool = False) -> str | None:
+    """Resolve the disk-tier directory: flag, then env, then default.
+
+    ``required=True`` (sweep, cache) falls back to :data:`DEFAULT_CACHE_DIR`;
+    otherwise ``None`` keeps the command memory-only.
+    """
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
+    if cache_dir is None and required:
+        cache_dir = DEFAULT_CACHE_DIR
+    return cache_dir
+
+
+def _study_cache(args: argparse.Namespace) -> StageCache | None:
+    """A disk-backed stage cache when a cache dir is configured, else ``None``.
+
+    ``None`` keeps the pre-storage behaviour: the scenario's study uses the
+    process-wide in-memory cache.
+    """
+    cache_dir = _cache_dir_from(args)
+    if cache_dir is None:
+        return None
+    return StageCache(disk=DiskStore(cache_dir))
+
+
+def _add_cache_dir_option(
+    parser: argparse.ArgumentParser, *, required: bool = False
+) -> None:
+    """Attach the shared ``--cache-dir`` option to a subcommand.
+
+    ``required`` mirrors :func:`_cache_dir_from`: sweep and cache always
+    have a disk tier (falling back to :data:`DEFAULT_CACHE_DIR`), the other
+    commands stay in-memory unless a directory is configured.
+    """
+    fallback = (
+        f"else {DEFAULT_CACHE_DIR}/" if required else "else in-memory only"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist stage artifacts in this durable cache directory "
+        f"(default: ${CACHE_DIR_ENV} if set, {fallback})",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,6 +151,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write per-experiment .txt tables and suite.json to this directory",
     )
+    _add_cache_dir_option(run)
 
     commands.add_parser("list", help="list experiment identifiers and required stages")
 
@@ -120,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="print the counters as JSON instead of aligned text",
     )
+    _add_cache_dir_option(index)
 
     fuzz = commands.add_parser(
         "fuzz",
@@ -157,6 +219,91 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="print the structured FuzzReport as JSON instead of the summary",
     )
+    _add_cache_dir_option(fuzz)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run many scenario cases over one shared artifact store, with a "
+        "resumable per-case manifest",
+    )
+    sweep.add_argument(
+        "cases",
+        nargs="*",
+        metavar="case",
+        help="scenario presets or 'family@seed' samples to sweep",
+    )
+    sweep.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        metavar="NAME",
+        help="expand a scenario family into --count samples (repeatable)",
+    )
+    sweep.add_argument(
+        "--count",
+        type=int,
+        default=5,
+        help="samples per expanded family; sample i uses seed SEED+i (default: 5)",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first sample seed of each expanded family (default: 0)",
+    )
+    sweep.add_argument(
+        "-e",
+        "--experiment",
+        action="append",
+        dest="experiments",
+        metavar="ID",
+        help="experiment id each case runs (repeatable; default: all)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for independent cases (default: 1)",
+    )
+    sweep.add_argument(
+        "--sweep-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="manifest/report directory (default: derived under the cache dir, "
+        "so re-running the same sweep resumes it)",
+    )
+    sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore an existing manifest and recompute every case",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the structured SweepReport as JSON instead of the summary",
+    )
+    _add_cache_dir_option(sweep, required=True)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the durable artifact store"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_commands.add_parser(
+        "stats", help="per-stage artifact counts and sizes of the disk tier"
+    )
+    cache_stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the counters as JSON instead of aligned text",
+    )
+    _add_cache_dir_option(cache_stats, required=True)
+    cache_clear = cache_commands.add_parser(
+        "clear", help="delete every artifact file of the disk tier"
+    )
+    _add_cache_dir_option(cache_clear, required=True)
     return parser
 
 
@@ -165,7 +312,9 @@ def _command_run(args: argparse.Namespace) -> int:
         engine=args.engine, workers=args.propagation_workers
     )
     settings.validate()
-    study = resolve_scenario(args.scenario).study(propagation=settings)
+    study = resolve_scenario(args.scenario).study(
+        cache=_study_cache(args), propagation=settings
+    )
     if args.seed is not None:
         study = study.seeded(args.seed)
     report = run_suite(
@@ -197,7 +346,7 @@ def _command_index(args: argparse.Namespace) -> int:
     import json
     import time
 
-    study = resolve_scenario(args.scenario).study()
+    study = resolve_scenario(args.scenario).study(cache=_study_cache(args))
     started = time.perf_counter()
     engine = study.analysis()
     build_seconds = time.perf_counter() - started
@@ -267,12 +416,63 @@ def _command_fuzz(args: argparse.Namespace) -> int:
         count=args.count,
         seed=args.seed,
         workers=args.workers,
+        cache_dir=_cache_dir_from(args),
     )
     if args.as_json:
         print(report.to_json())
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.session.sweep import SweepInterrupted, expand_case_specs, run_sweep
+
+    specs = expand_case_specs(
+        args.cases, args.families, count=args.count, seed=args.seed
+    )
+    try:
+        report = run_sweep(
+            specs,
+            cache_dir=_cache_dir_from(args, required=True),
+            sweep_dir=args.sweep_dir,
+            experiments=args.experiments,
+            workers=args.workers,
+            resume=not args.no_resume,
+        )
+    except SweepInterrupted as interruption:
+        print(f"sweep interrupted: {interruption}", file=sys.stderr)
+        return 3
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    import json
+
+    store = DiskStore(_cache_dir_from(args, required=True))
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} artifact file(s) under {store.root}/")
+        return 0
+    # The memory tier is per-process (see StageCache.stats for in-process
+    # counters); a standalone CLI invocation can only inspect the disk tier.
+    stats = store.stats()
+    if args.as_json:
+        print(json.dumps({"cache_dir": str(store.root), "disk": stats}, indent=2))
+        return 0
+    print(f"disk tier under {store.root}/:")
+    if not stats:
+        print("  (empty)")
+    for stage, counters in stats.items():
+        print(
+            f"  {stage:12s} {counters['artifacts']:6d} artifact(s) "
+            f"{counters['bytes']:12d} bytes"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -287,6 +487,10 @@ def main(argv: list[str] | None = None) -> int:
             return _command_index(args)
         if args.command == "fuzz":
             return _command_fuzz(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "cache":
+            return _command_cache(args)
         return _command_scenarios(args)
     except BrokenPipeError:  # e.g. `python -m repro run | head`
         return 0

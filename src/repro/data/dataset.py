@@ -198,6 +198,20 @@ class StudyDataset:
                 self._analysis_engine = engine
         return engine
 
+    def adopt_analysis_engine(self, engine: "AnalysisEngine") -> "AnalysisEngine":
+        """Install an externally built analyzer engine into the dataset memo.
+
+        Used by the storage layer when an analysis artifact is decoded from
+        the disk tier: the restored engine becomes this dataset's memoised
+        engine so that :meth:`analysis_engine` callers and the session's
+        ``ANALYSIS`` stage share it.  If an engine is already memoised it
+        wins (first writer), keeping the memo stable under races.
+        """
+        with self._analysis_lock:
+            if self._analysis_engine is None:
+                self._analysis_engine = engine
+            return self._analysis_engine
+
 
 def build_dataset(parameters: DatasetParameters | None = None) -> StudyDataset:
     """Generate the Internet, assign policies, simulate, and observe.

@@ -39,3 +39,7 @@ class InferenceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured or executed incorrectly."""
+
+
+class StorageError(ReproError):
+    """A stage artifact could not be packed, unpacked or round-tripped."""

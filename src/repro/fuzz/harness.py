@@ -173,24 +173,39 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def build_context(family_name: str, seed: int) -> FuzzContext:
+def build_context(
+    family_name: str, seed: int, cache_dir: str | None = None
+) -> FuzzContext:
     """Build everything the oracles need for one ``(family, seed)`` case.
 
-    Samples the family, builds the study through a fresh (isolated)
+    Samples the family, builds the study through a fresh
     :class:`~repro.session.cache.StageCache`, runs *both* propagation
     engines over the same topology and policy plan, and assembles the
     dataset (over the fast result) with its analysis engine.
 
+    With ``cache_dir`` set, the study's cache is backed by the shared disk
+    tier: stage artifacts another worker (or an earlier run) persisted are
+    decoded instead of rebuilt, and the decoded fast-path artifacts are
+    still checked differentially against a freshly executed legacy engine —
+    so a warm fuzz run exercises the storage codecs as well as the engines.
+
     Args:
         family_name: a registered scenario family.
         seed: the case seed.
+        cache_dir: optional shared artifact-store directory.
 
     Returns:
         The assembled :class:`~repro.fuzz.oracles.FuzzContext`.
     """
     family = get_family(family_name)
     config = family.sample(seed)
-    study = Study(config, cache=StageCache())
+    if cache_dir is None:
+        cache = StageCache()
+    else:
+        from repro.storage.store import DiskStore
+
+        cache = StageCache(disk=DiskStore(cache_dir))
+    study = Study(config, cache=cache)
     internet = study.topology()
     plan = study.policies()
     fast_result = study.propagation()
@@ -209,7 +224,9 @@ def build_context(family_name: str, seed: int) -> FuzzContext:
     )
 
 
-def run_case(family_name: str, seed: int) -> FuzzCaseResult:
+def run_case(
+    family_name: str, seed: int, cache_dir: str | None = None
+) -> FuzzCaseResult:
     """Run every oracle against one sampled scenario.
 
     Oracle violations are collected per oracle — one failing invariant
@@ -220,12 +237,13 @@ def run_case(family_name: str, seed: int) -> FuzzCaseResult:
     Args:
         family_name: a registered scenario family.
         seed: the case seed.
+        cache_dir: optional shared artifact-store directory.
 
     Returns:
         The case's :class:`FuzzCaseResult`.
     """
     started = time.perf_counter()
-    context = build_context(family_name, seed)
+    context = build_context(family_name, seed, cache_dir)
     result = FuzzCaseResult(
         family=family_name,
         seed=seed,
@@ -244,10 +262,10 @@ def run_case(family_name: str, seed: int) -> FuzzCaseResult:
     return result
 
 
-def _run_case_spec(spec: tuple[str, int]) -> FuzzCaseResult:
+def _run_case_spec(spec: tuple[str, int, str | None]) -> FuzzCaseResult:
     """Process-pool entry point (top level, so it pickles by reference)."""
-    family_name, seed = spec
-    return run_case(family_name, seed)
+    family_name, seed, cache_dir = spec
+    return run_case(family_name, seed, cache_dir)
 
 
 def run_fuzz(
@@ -255,6 +273,7 @@ def run_fuzz(
     count: int = 5,
     seed: int = 7,
     workers: int = 1,
+    cache_dir: str | None = None,
 ) -> FuzzReport:
     """Fuzz ``count`` sampled scenarios per family and judge every oracle.
 
@@ -265,6 +284,8 @@ def run_fuzz(
         seed: the base seed.
         workers: process-pool width; ``1`` runs in-process.  The merged
             report is identical for any worker count.
+        cache_dir: optional shared artifact-store directory; workers read
+            and populate it concurrently.
 
     Returns:
         The :class:`FuzzReport` over all cases.
@@ -281,7 +302,7 @@ def run_fuzz(
         raise ExperimentError(f"fuzz workers must be >= 1, got {workers}")
 
     specs = [
-        (family_name, seed + index)
+        (family_name, seed + index, cache_dir)
         for family_name in selected
         for index in range(count)
     ]

@@ -118,6 +118,37 @@ class AddressAllocator:
         self.blocks.append(block)
         return block
 
+    # -- state snapshots (used by the storage codecs) -----------------------
+
+    def dump_state(self) -> tuple:
+        """Snapshot the allocator's complete state as plain values.
+
+        Returns ``(base, cursor, blocks, sub_cursors)`` where blocks are
+        ``(prefix, owner, parent_owner)`` triples in allocation order and
+        sub-cursors are ``(parent prefix, next address)`` pairs in map
+        order.  :meth:`from_state` restores an allocator that will hand
+        out exactly the same future allocations.
+        """
+        return (
+            self.base,
+            self._cursor,
+            [(block.prefix, block.owner, block.parent_owner) for block in self.blocks],
+            list(self._sub_cursors.items()),
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "AddressAllocator":
+        """Rebuild an allocator from a :meth:`dump_state` snapshot."""
+        base, cursor, blocks, sub_cursors = state
+        allocator = cls(base=base)
+        allocator._cursor = cursor
+        allocator.blocks = [
+            AddressBlock(prefix=prefix, owner=owner, parent_owner=parent_owner)
+            for prefix, owner, parent_owner in blocks
+        ]
+        allocator._sub_cursors = dict(sub_cursors)
+        return allocator
+
     # -- queries -------------------------------------------------------------
 
     def blocks_of(self, owner: ASN) -> list[AddressBlock]:

@@ -28,19 +28,6 @@ Quick tour::
 """
 
 from repro.session.cache import GLOBAL_CACHE, StageCache, StageStats, fingerprint
-from repro.session.stages import (
-    ALL_STAGES,
-    AnalysisParameters,
-    IrrParameters,
-    ObservationArtifact,
-    ObservationParameters,
-    PolicyStageArtifact,
-    PropagationSettings,
-    Stage,
-    StageView,
-    StudyConfig,
-)
-from repro.session.study import Study, study_from_dataset_parameters
 from repro.session.scenarios import (
     Scenario,
     ScenarioFamily,
@@ -54,7 +41,27 @@ from repro.session.scenarios import (
     resolve_scenario,
     scenario_names,
 )
+from repro.session.stages import (
+    ALL_STAGES,
+    AnalysisParameters,
+    IrrParameters,
+    ObservationArtifact,
+    ObservationParameters,
+    PolicyStageArtifact,
+    PropagationSettings,
+    Stage,
+    StageView,
+    StudyConfig,
+)
+from repro.session.study import Study, study_from_dataset_parameters
 from repro.session.suite import ExperimentReport, SuiteReport, run_suite
+from repro.session.sweep import (
+    SweepCase,
+    SweepInterrupted,
+    SweepReport,
+    expand_case_specs,
+    run_sweep,
+)
 
 __all__ = [
     "ALL_STAGES",
@@ -75,6 +82,9 @@ __all__ = [
     "Study",
     "StudyConfig",
     "SuiteReport",
+    "SweepCase",
+    "SweepInterrupted",
+    "SweepReport",
     "all_families",
     "all_scenarios",
     "family_names",
@@ -85,6 +95,8 @@ __all__ = [
     "register_scenario",
     "resolve_scenario",
     "run_suite",
+    "run_sweep",
+    "expand_case_specs",
     "scenario_names",
     "study_from_dataset_parameters",
 ]

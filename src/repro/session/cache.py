@@ -1,4 +1,4 @@
-"""Content-addressed cache for the staged Study pipeline.
+"""Two-tier content-addressed cache for the staged Study pipeline.
 
 Every stage of a :class:`~repro.session.study.Study` computes a *key* from
 its own parameters plus the keys of the stages it depends on, then asks the
@@ -6,16 +6,47 @@ cache for the artifact.  Two studies that share a cache and agree on a prefix
 of the pipeline therefore share the artifacts of that prefix — a sensitivity
 sweep that varies only the policy parameters pays topology generation once.
 
-The cache records per-stage hit/miss counters so tests (and the
-``examples/policy_sweep.py`` demo) can assert the reuse actually happened.
+The cache has two tiers:
+
+* a **bounded in-memory LRU** (``max_entries``) holding live artifact
+  objects, and
+* an optional **on-disk tier** (:class:`~repro.storage.store.DiskStore`)
+  holding codec-encoded artifacts under a shared ``--cache-dir`` /
+  ``REPRO_CACHE_DIR`` directory.  Artifacts found there are decoded instead
+  of rebuilt, which is what lets a new process — a ``repro run``, a sweep
+  worker, a fuzz case — reuse stages another process already computed.
+
+Keys are salted with the ``repro`` release, the storage schema version and
+every codec version (:func:`repro.storage.versions.version_salt`), so a
+format change simply re-addresses the world and stale artifacts are never
+deserialized.
+
+The cache records per-stage hit / disk-hit / miss counters so tests (and
+``python -m repro cache stats``) can assert the reuse actually happened.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable
+
+from repro.exceptions import StorageError
+from repro.storage.store import DiskStore
+from repro.storage.versions import version_salt
+
+#: Default bound of the in-memory tier (stage artifacts are large; a
+#: sweep's working set per process is a handful of pipeline prefixes).
+DEFAULT_MAX_ENTRIES = 128
+
+#: Environment variable naming the shared disk tier directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the in-memory bound of the global cache.
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
 
 
 def fingerprint(*parts: object) -> str:
@@ -23,9 +54,14 @@ def fingerprint(*parts: object) -> str:
 
     The parts are frozen dataclasses, strings or prior stage keys; their
     ``repr`` is deterministic field-by-field, which makes the digest a
-    content address of the whole upstream configuration.
+    content address of the whole upstream configuration.  The digest is
+    salted with :func:`repro.storage.versions.version_salt` (package
+    release + storage schema + codec versions), so artifacts persisted
+    under one format version are unreachable — not misread — under another.
     """
     digest = hashlib.sha256()
+    digest.update(version_salt().encode("utf-8"))
+    digest.update(b"\x1e")
     for part in parts:
         digest.update(repr(part).encode("utf-8"))
         digest.update(b"\x1f")
@@ -37,6 +73,7 @@ class StageStats:
     """Hit/miss accounting for one stage of the pipeline."""
 
     hits: int = 0
+    disk_hits: int = 0
     misses: int = 0
 
     @property
@@ -44,47 +81,119 @@ class StageStats:
         """How many times the stage artifact was actually computed."""
         return self.misses
 
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain JSON-ready mapping."""
+        return {"hits": self.hits, "disk_hits": self.disk_hits, "misses": self.misses}
 
-@dataclass
+
+_MISSING = object()
+
+
 class StageCache:
-    """A keyed artifact store shared by every :class:`Study` derived via ``with_``.
+    """A two-tier keyed artifact store shared by studies derived via ``with_``.
 
     Thread-safe with per-key build coordination: concurrent ``get_or_build``
     calls for the same key build the artifact once (waiters count as hits),
     while builds for *different* keys proceed in parallel — the lock guards
-    only the bookkeeping, never a build.
+    only the bookkeeping, never a build, a decode or disk I/O.
+
+    Args:
+        max_entries: bound of the in-memory LRU tier; ``None`` means
+            unbounded (the pre-disk-tier behaviour).
+        disk: optional on-disk tier shared across processes; artifacts
+            round-trip through it via the stage codecs
+            (:mod:`repro.storage.codecs`).
     """
 
-    _entries: dict[str, Any] = field(default_factory=dict)
-    _stats: dict[str, StageStats] = field(default_factory=dict)
-    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
-    _inflight: dict[str, threading.Event] = field(default_factory=dict, repr=False)
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        disk: DiskStore | None = None,
+    ) -> None:
+        self.max_entries = max_entries
+        self.disk = disk
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._stats: dict[str, StageStats] = {}
+        self._lock = threading.RLock()
+        self._inflight: dict[str, threading.Event] = {}
 
-    def get_or_build(self, stage: str, key: str, builder: Callable[[], Any]) -> Any:
-        """Return the cached artifact for ``key``, building it on first use."""
+    def get_or_build(
+        self,
+        stage: str,
+        key: str,
+        builder: Callable[[], Any],
+        *,
+        encode: Callable[[Any], bytes] | None = None,
+        decode: Callable[[bytes], Any] | None = None,
+    ) -> Any:
+        """Return the artifact for ``key``: memory, then disk, then build.
+
+        Args:
+            stage: pipeline stage name (stats bucket and disk subdirectory).
+            key: the artifact's content address.
+            builder: zero-argument callable computing the artifact.
+            encode: optional codec serializer; freshly built artifacts are
+                persisted to the disk tier when both ``encode`` and a disk
+                tier are present.
+            decode: optional codec deserializer; with a disk tier present,
+                stored bytes are decoded instead of building.  A decode
+                failure (corrupt or incompatible file) falls back to the
+                builder.
+
+        Returns:
+            The artifact (possibly shared with concurrent callers).
+        """
         while True:
             with self._lock:
                 stats = self._stats.setdefault(stage, StageStats())
                 if key in self._entries:
+                    self._entries.move_to_end(key)
                     stats.hits += 1
                     return self._entries[key]
                 pending = self._inflight.get(key)
                 if pending is None:
                     self._inflight[key] = threading.Event()
-                    stats.misses += 1
                     break  # this thread owns the build
             # Another thread is building this key; wait and re-check (the
             # builder may have failed, in which case the loop retries).
             pending.wait()
 
+        value = _MISSING
+        from_disk = False
         try:
-            value = builder()
+            if self.disk is not None and decode is not None:
+                payload = self.disk.read(stage, key)
+                if payload is not None:
+                    try:
+                        value = decode(payload)
+                        from_disk = True
+                    except Exception:
+                        value = _MISSING  # corrupt artifact: rebuild below
+            if value is _MISSING:
+                value = builder()
+                if self.disk is not None and encode is not None:
+                    try:
+                        self.disk.write(stage, key, encode(value))
+                    except (OSError, StorageError):
+                        # The disk tier is best-effort: a full disk or an
+                        # artifact a codec cannot round-trip must not crash
+                        # a computation that already succeeded.
+                        pass
         except BaseException:
             with self._lock:
                 self._inflight.pop(key).set()
             raise
+
         with self._lock:
+            if from_disk:
+                stats.disk_hits += 1
+            else:
+                stats.misses += 1
             self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
             self._inflight.pop(key).set()
         return value
 
@@ -93,18 +202,58 @@ class StageCache:
         with self._lock:
             return self._stats.setdefault(stage, StageStats())
 
-    def clear(self) -> None:
-        """Drop every completed artifact and reset the counters."""
+    @property
+    def stats(self) -> dict[str, StageStats]:
+        """A snapshot of every stage's counters, keyed by stage name."""
+        with self._lock:
+            return {
+                stage: StageStats(s.hits, s.disk_hits, s.misses)
+                for stage, s in sorted(self._stats.items())
+            }
+
+    def stats_dict(self) -> dict[str, dict[str, int]]:
+        """Every stage's counters as a JSON-ready nested mapping."""
+        return {stage: stats.as_dict() for stage, stats in self.stats.items()}
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop every completed artifact and reset the counters.
+
+        Args:
+            disk: when ``True``, also delete the disk tier's artifact files.
+        """
         with self._lock:
             self._entries.clear()
             self._stats.clear()
+        if disk and self.disk is not None:
+            self.disk.clear()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
 
+def cache_from_env() -> StageCache:
+    """A cache configured from the environment.
+
+    Reads :data:`CACHE_DIR_ENV` (``REPRO_CACHE_DIR``) for the disk tier —
+    unset means memory-only — and :data:`CACHE_MAX_ENTRIES_ENV` for the
+    in-memory bound (default :data:`DEFAULT_MAX_ENTRIES`, ``0`` means
+    unbounded).
+    """
+    cache_dir = os.environ.get(CACHE_DIR_ENV)
+    raw_bound = os.environ.get(CACHE_MAX_ENTRIES_ENV, "")
+    try:
+        max_entries: int | None = int(raw_bound) if raw_bound else DEFAULT_MAX_ENTRIES
+    except ValueError:
+        max_entries = DEFAULT_MAX_ENTRIES
+    if max_entries == 0:
+        max_entries = None
+    disk = DiskStore(cache_dir) if cache_dir else None
+    return StageCache(max_entries=max_entries, disk=disk)
+
+
 #: Process-wide default cache.  Scenario studies and the legacy
 #: ``default_dataset``/``small_dataset`` helpers share it, which replaces the
-#: two ``lru_cache`` singletons the seed API used.
-GLOBAL_CACHE = StageCache()
+#: two ``lru_cache`` singletons the seed API used.  Set ``REPRO_CACHE_DIR``
+#: before the first import to give it a disk tier.
+GLOBAL_CACHE = cache_from_env()

@@ -169,7 +169,19 @@ class Study:
         raise ValueError(f"unknown stage: {stage!r}")
 
     def _build(self, stage: Stage, builder) -> object:
-        return self.cache.get_or_build(stage.value, self.stage_key(stage), builder)
+        encode = decode = None
+        if self.cache.disk is not None:
+            # Codecs are only needed (and only imported) when a disk tier is
+            # attached; memory-only caches skip the storage layer entirely.
+            from repro.storage.codecs import codec_for
+
+            codec = codec_for(stage.value)
+            if codec is not None:
+                encode = codec.encode
+                decode = lambda data: codec.decode(data, self)  # noqa: E731
+        return self.cache.get_or_build(
+            stage.value, self.stage_key(stage), builder, encode=encode, decode=decode
+        )
 
     # -- stages ----------------------------------------------------------------
 

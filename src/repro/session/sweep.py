@@ -1,0 +1,460 @@
+"""Resumable cross-process sweeps over the durable artifact store.
+
+The paper's workload is sweep-shaped: the same inference and
+characterization analyses re-run across many vantage/policy configurations.
+:func:`run_sweep` fans a list of scenario specs (preset names or
+``family@seed`` samples) out over worker processes, with every worker
+attached to one shared disk tier (``--cache-dir``):
+
+* **stage reuse** — workers share pipeline prefixes through the
+  content-addressed store instead of recomputing them: the first case to
+  need a topology persists it, every later case (in any process, in any
+  later sweep) decodes it.
+* **report reuse** — each case's timing-masked suite JSON is itself stored
+  under the ``report`` tier, addressed by the full upstream key chain plus
+  the experiment list.  A warm-cache sweep re-derives the keys (pure
+  fingerprinting, no builds) and serves every case from disk, byte-identical
+  to the cold run.
+* **resume** — per-case completion is recorded in ``manifest.json`` inside
+  the sweep directory, rewritten atomically after every case.  An
+  interrupted sweep (crash, SIGKILL, ``fail_after`` test hook) restarts
+  with the same arguments, skips every recorded case, and completes the
+  remainder.
+
+CLI::
+
+    python -m repro sweep multihoming@0 multihoming@1 --cache-dir .repro-cache
+    python -m repro sweep --family peering-density --count 10 --workers 4 \\
+        --cache-dir /shared/cache
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.exceptions import ExperimentError
+from repro.session.cache import StageCache, fingerprint
+from repro.session.scenarios import get_family, resolve_scenario
+from repro.session.stages import Stage
+from repro.session.suite import run_suite
+from repro.storage.store import DiskStore
+
+#: Manifest schema version (bumped on incompatible manifest changes).
+MANIFEST_VERSION = 1
+
+#: Environment variable making the orchestrator abort after N completed
+#: cases — a deterministic stand-in for "the process was killed mid-sweep",
+#: used by the resume smoke tests and CI.
+FAIL_AFTER_ENV = "REPRO_SWEEP_FAIL_AFTER"
+
+
+class SweepInterrupted(ExperimentError):
+    """The sweep stopped before finishing; the manifest records progress."""
+
+
+@dataclass
+class SweepCase:
+    """Outcome of one sweep case.
+
+    Attributes:
+        spec: the scenario spec (preset name or ``family@seed``).
+        status: ``"completed"`` (experiments ran), ``"cached"`` (report
+            served from the disk tier), ``"resumed"`` (skipped — already in
+            the manifest) or ``"failed"``.
+        seconds: wall-clock cost of the case in this run (0 when resumed).
+        report_path: path of the case's suite-report JSON file.
+        error: the failure message for ``"failed"`` cases.
+        cache_stats: per-stage hit/disk-hit/miss counters of the case's
+            cache (absent for resumed cases).
+    """
+
+    spec: str
+    status: str
+    seconds: float = 0.0
+    report_path: str | None = None
+    error: str | None = None
+    cache_stats: dict | None = None
+
+    def to_dict(self, *, include_timing: bool = True) -> dict:
+        """A JSON-ready dict with a stable key order."""
+        return {
+            "spec": self.spec,
+            "status": self.status,
+            "seconds": round(self.seconds, 4) if include_timing else None,
+            "report": self.report_path,
+            "error": self.error,
+            "cache_stats": self.cache_stats,
+        }
+
+
+@dataclass
+class SweepReport:
+    """The structured result of one :func:`run_sweep` call.
+
+    Attributes:
+        cases: per-case outcomes, in spec order.
+        cache_dir: the shared disk tier directory.
+        sweep_dir: the sweep's manifest/report directory.
+        experiments: experiment ids the sweep ran (``None`` means all).
+        workers: process-pool width.
+        total_seconds: wall-clock cost of the whole call.
+    """
+
+    cases: list[SweepCase] = field(default_factory=list)
+    cache_dir: str = ""
+    sweep_dir: str = ""
+    experiments: list[str] | None = None
+    workers: int = 1
+    total_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no case failed."""
+        return all(case.status != "failed" for case in self.cases)
+
+    def count(self, status: str) -> int:
+        """How many cases finished with the given status."""
+        return sum(1 for case in self.cases if case.status == status)
+
+    def to_dict(self, *, include_timing: bool = True) -> dict:
+        """A JSON-ready dict; ``include_timing=False`` masks all timings."""
+        return {
+            "cache_dir": self.cache_dir,
+            "sweep_dir": self.sweep_dir,
+            "experiments": self.experiments,
+            "ok": self.ok,
+            "counts": {
+                status: self.count(status)
+                for status in ("completed", "cached", "resumed", "failed")
+            },
+            "cases": [
+                case.to_dict(include_timing=include_timing) for case in self.cases
+            ],
+            "workers": self.workers if include_timing else None,
+            "total_seconds": round(self.total_seconds, 4) if include_timing else None,
+        }
+
+    def to_json(self, *, include_timing: bool = True, indent: int | None = 2) -> str:
+        """Deterministic JSON (byte-identical when timings are masked)."""
+        return json.dumps(self.to_dict(include_timing=include_timing), indent=indent)
+
+    def render(self) -> str:
+        """A human-readable per-case summary."""
+        lines = [
+            f"sweep: {len(self.cases)} cases (workers={self.workers}, "
+            f"cache={self.cache_dir})"
+        ]
+        for case in self.cases:
+            marker = {"completed": "run ", "cached": "hit ", "resumed": "skip"}.get(
+                case.status, "FAIL"
+            )
+            detail = case.error if case.error else f"{case.seconds:.2f}s"
+            lines.append(f"{marker} {case.spec:28s} {detail}")
+        lines.append(
+            f"summary: {self.count('completed')} computed, "
+            f"{self.count('cached')} from cache, {self.count('resumed')} resumed, "
+            f"{self.count('failed')} failed, {self.total_seconds:.1f}s"
+        )
+        return "\n".join(lines)
+
+
+def expand_case_specs(
+    cases: list[str] | None,
+    families: list[str] | None = None,
+    count: int = 5,
+    seed: int = 0,
+) -> list[str]:
+    """The sweep's case list: explicit specs plus family expansions.
+
+    Args:
+        cases: explicit scenario specs (presets or ``family@seed``).
+        families: family names expanded to ``family@seed .. family@seed+count-1``.
+        count: samples per expanded family.
+        seed: first sample seed of each expanded family.
+
+    Returns:
+        The combined, de-duplicated spec list in request order.
+
+    Raises:
+        ExperimentError: on unknown families or an empty case list.
+    """
+    specs: list[str] = list(cases or [])
+    for family in families or []:
+        get_family(family)  # validate before spending any build time
+        specs.extend(f"{family}@{seed + index}" for index in range(count))
+    deduplicated = list(dict.fromkeys(specs))
+    if not deduplicated:
+        raise ExperimentError(
+            "sweep needs at least one case: pass scenario specs or --family"
+        )
+    return deduplicated
+
+
+def report_key(study, experiment_ids: list[str] | None, scenario: str) -> str:
+    """The content address of one case's suite report.
+
+    Covers every stage key of the study (hence the whole configuration,
+    engine choice included), the experiment list and the scenario label
+    (recorded inside the report JSON), so any change that could alter the
+    report bytes moves the key.
+    """
+    return fingerprint(
+        "suite-report",
+        *(study.stage_key(stage) for stage in Stage),
+        tuple(experiment_ids) if experiment_ids else "all",
+        scenario,
+    )
+
+
+def _case_slug(spec: str) -> str:
+    """A filesystem-safe, collision-free file stem for one case spec."""
+    clean = re.sub(r"[^A-Za-z0-9_.-]+", "-", spec).strip("-") or "case"
+    return f"{clean}-{fingerprint(spec)[:8]}"
+
+
+def _run_sweep_case(task: tuple[str, tuple[str, ...] | None, str]) -> tuple:
+    """Process-pool entry point: run (or load) one sweep case.
+
+    Args:
+        task: ``(spec, experiment ids or None, cache directory)``.
+
+    Returns:
+        ``(spec, report JSON, seconds, cache stats, status)`` where status
+        is ``"cached"`` when the report came from the disk tier.
+    """
+    spec, experiments, cache_dir = task
+    started = time.perf_counter()
+    cache = StageCache(disk=DiskStore(cache_dir))
+    study = resolve_scenario(spec).study(cache=cache)
+    ids = list(experiments) if experiments else None
+
+    def build() -> str:
+        return run_suite(study, ids, scenario=spec).to_json(include_timing=False)
+
+    json_text = cache.get_or_build(
+        "report",
+        report_key(study, ids, spec),
+        build,
+        encode=lambda text: text.encode("utf-8"),
+        decode=lambda data: data.decode("utf-8"),
+    )
+    status = "cached" if cache.stats_for("report").disk_hits else "completed"
+    return (
+        spec,
+        json_text,
+        time.perf_counter() - started,
+        cache.stats_dict(),
+        status,
+    )
+
+
+class _Manifest:
+    """The sweep's crash-safe completion record."""
+
+    def __init__(self, path: pathlib.Path, experiments: list[str] | None) -> None:
+        self.path = path
+        self.experiments = list(experiments) if experiments else None
+        self.cases: dict[str, dict] = {}
+
+    def load(self) -> None:
+        """Read an existing manifest; ignored when absent or incompatible."""
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != MANIFEST_VERSION
+            or data.get("experiments") != self.experiments
+        ):
+            return
+        cases = data.get("cases")
+        if isinstance(cases, dict):
+            self.cases = cases
+
+    def record(self, spec: str, entry: dict) -> None:
+        """Record one case and atomically rewrite the manifest file."""
+        self.cases[spec] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "version": MANIFEST_VERSION,
+                "experiments": self.experiments,
+                "cases": self.cases,
+            },
+            indent=2,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".manifest.", suffix=".tmp", dir=self.path.parent
+        )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp_name, self.path)
+
+    def completed(self, spec: str, sweep_dir: pathlib.Path) -> str | None:
+        """The report path of an already-completed case, when still valid."""
+        entry = self.cases.get(spec)
+        if not isinstance(entry, dict) or entry.get("status") != "done":
+            return None
+        report = entry.get("report")
+        if not isinstance(report, str) or not (sweep_dir / report).is_file():
+            return None
+        return report
+
+
+def run_sweep(
+    specs: list[str],
+    *,
+    cache_dir: str | os.PathLike,
+    sweep_dir: str | os.PathLike | None = None,
+    experiments: list[str] | None = None,
+    workers: int = 1,
+    resume: bool = True,
+    fail_after: int | None = None,
+) -> SweepReport:
+    """Run a list of scenario cases over one shared artifact store.
+
+    Args:
+        specs: scenario specs (presets or ``family@seed``), e.g. from
+            :func:`expand_case_specs`.
+        cache_dir: the shared disk tier directory (created on demand).
+        sweep_dir: where the manifest and per-case reports live; defaults
+            to ``<cache_dir>/sweeps/<digest>`` with the digest derived from
+            the case list and experiment set, so re-running the same sweep
+            resumes it.
+        experiments: experiment ids each case runs (``None`` means all).
+        workers: process-pool width; ``1`` runs in-process.
+        resume: honour an existing manifest (skip completed cases).
+        fail_after: abort (``SweepInterrupted``) after this many cases
+            complete in this run — deterministic crash injection for the
+            resume tests; also settable via :data:`FAIL_AFTER_ENV`.
+
+    Returns:
+        The :class:`SweepReport`; per-case JSON files live under
+        ``<sweep_dir>/cases/``.
+
+    Raises:
+        ExperimentError: on unknown scenarios/families or bad ``workers``.
+        SweepInterrupted: when ``fail_after`` fires; completed cases are
+            already persisted in the manifest.
+    """
+    if workers < 1:
+        raise ExperimentError(f"sweep workers must be >= 1, got {workers}")
+    for spec in specs:
+        resolve_scenario(spec)  # validate every case before starting work
+    if fail_after is None:
+        raw = os.environ.get(FAIL_AFTER_ENV, "")
+        fail_after = int(raw) if raw.isdigit() else None
+
+    cache_root = pathlib.Path(cache_dir)
+    experiment_ids = sorted(experiments) if experiments else None
+    if sweep_dir is None:
+        digest = fingerprint(
+            "sweep", tuple(specs), tuple(experiment_ids) if experiment_ids else "all"
+        )
+        sweep_root = cache_root / "sweeps" / digest
+    else:
+        sweep_root = pathlib.Path(sweep_dir)
+    cases_dir = sweep_root / "cases"
+
+    manifest = _Manifest(sweep_root / "manifest.json", experiment_ids)
+    if resume:
+        manifest.load()
+
+    started = time.perf_counter()
+    outcomes: dict[str, SweepCase] = {}
+    pending: list[str] = []
+    for spec in specs:
+        report = manifest.completed(spec, sweep_root)
+        if report is not None:
+            outcomes[spec] = SweepCase(
+                spec=spec, status="resumed", report_path=str(sweep_root / report)
+            )
+        else:
+            pending.append(spec)
+
+    finished_this_run = 0
+
+    def record(spec: str, json_text: str, seconds: float, stats: dict, status: str):
+        nonlocal finished_this_run
+        relative = f"cases/{_case_slug(spec)}.json"
+        path = sweep_root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_text + "\n")
+        manifest.record(
+            spec,
+            {
+                "status": "done",
+                "report": relative,
+                "result": status,
+                "seconds": round(seconds, 4),
+            },
+        )
+        outcomes[spec] = SweepCase(
+            spec=spec,
+            status=status,
+            seconds=seconds,
+            report_path=str(path),
+            cache_stats=stats,
+        )
+        finished_this_run += 1
+        if fail_after is not None and finished_this_run >= fail_after:
+            raise SweepInterrupted(
+                f"sweep interrupted after {finished_this_run} case(s) "
+                f"(fail_after={fail_after}); resume with the same arguments"
+            )
+
+    tasks = [
+        (spec, tuple(experiment_ids) if experiment_ids else None, str(cache_root))
+        for spec in pending
+    ]
+    cases_dir.mkdir(parents=True, exist_ok=True)
+    if workers == 1 or len(tasks) <= 1:
+        for task in tasks:
+            try:
+                spec, json_text, seconds, stats, status = _run_sweep_case(task)
+            except Exception as error:  # noqa: BLE001 - case isolation
+                outcomes[task[0]] = SweepCase(
+                    spec=task[0], status="failed", error=str(error)
+                )
+                continue
+            record(spec, json_text, seconds, stats, status)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_sweep_case, task): task for task in tasks}
+            remaining = set(futures)
+            try:
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task = futures[future]
+                        try:
+                            spec, json_text, seconds, stats, status = future.result()
+                        except Exception as error:  # noqa: BLE001 - case isolation
+                            outcomes[task[0]] = SweepCase(
+                                spec=task[0], status="failed", error=str(error)
+                            )
+                            continue
+                        record(spec, json_text, seconds, stats, status)
+            except SweepInterrupted:
+                # Drop every queued case immediately — only the handful of
+                # in-flight ones finish (and are discarded), so the
+                # interruption really is mid-sweep even with a deep queue.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+
+    return SweepReport(
+        cases=[outcomes[spec] for spec in specs if spec in outcomes],
+        cache_dir=str(cache_root),
+        sweep_dir=str(sweep_root),
+        experiments=experiment_ids,
+        workers=workers,
+        total_seconds=time.perf_counter() - started,
+    )

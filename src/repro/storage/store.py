@@ -1,0 +1,185 @@
+"""The on-disk artifact tier: content-addressed, atomic, versioned.
+
+A :class:`DiskStore` lays stage artifacts out under one root directory::
+
+    <root>/<stage>/<key[:2]>/<key>.art
+
+Keys are the content addresses produced by
+:func:`repro.session.cache.fingerprint`, so two processes that agree on a
+pipeline prefix address the same files — that is what lets a sweep worker
+reuse the topology another worker already compiled.
+
+Each file is a packed ``(header, payload)`` pair.  The header records the
+storage schema version, the stage, the stage codec version, the ``repro``
+release and the machine byte order; :meth:`DiskStore.read` returns ``None``
+(a miss) on any mismatch or corruption instead of handing stale bytes to a
+codec.  Writes go through a temporary file in the same directory followed
+by :func:`os.replace`, so concurrent writers are safe and a killed process
+never leaves a half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import tempfile
+
+from repro.storage.packing import pack, unpack
+from repro.storage.versions import CODEC_VERSIONS, SCHEMA_VERSION
+
+#: Leading marker of every artifact file header.
+_MAGIC = "repro-artifact"
+
+#: File suffix of stored artifacts.
+_SUFFIX = ".art"
+
+
+class DiskStore:
+    """The content-addressed disk tier shared across processes.
+
+    Args:
+        root: directory the store lives under (created lazily on first
+            write; reads from a missing root are plain misses).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        """Bind the store to its root directory (not created yet)."""
+        self.root = pathlib.Path(root)
+
+    # -- addressing ------------------------------------------------------------
+
+    def path_for(self, stage: str, key: str) -> pathlib.Path:
+        """The file path addressing one ``(stage, key)`` artifact."""
+        return self.root / stage / key[:2] / f"{key}{_SUFFIX}"
+
+    # -- read / write ----------------------------------------------------------
+
+    def read(self, stage: str, key: str) -> bytes | None:
+        """The stored payload of an artifact, or ``None``.
+
+        Args:
+            stage: pipeline stage name.
+            key: the artifact's content address.
+
+        Returns:
+            The codec payload bytes, or ``None`` when the file is missing,
+            unreadable, corrupt, or written under a different schema/codec
+            version, ``repro`` release or byte order — every mismatch is a
+            miss, never an error, so callers simply rebuild.
+        """
+        path = self.path_for(stage, key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            tree = unpack(data)
+        except Exception:
+            # Corruption can surface as more than StorageError (invalid
+            # UTF-8 in a string node, a bad array typecode, a frombytes
+            # length mismatch); the read contract is "corruption is a
+            # miss", so any decode failure falls back to the builder.
+            return None
+        if not (isinstance(tree, tuple) and len(tree) == 2):
+            return None
+        header, payload = tree
+        if header != self._header(stage) or not isinstance(payload, bytes):
+            return None
+        return payload
+
+    def write(self, stage: str, key: str, payload: bytes) -> pathlib.Path:
+        """Atomically persist one artifact payload.
+
+        Args:
+            stage: pipeline stage name.
+            key: the artifact's content address.
+            payload: the codec-encoded bytes.
+
+        Returns:
+            The final file path.
+
+        Raises:
+            OSError: if the filesystem rejects the write (callers treat the
+                disk tier as best-effort and may swallow this).
+        """
+        path = self.path_for(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = pack((self._header(stage), payload))
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _header(self, stage: str) -> tuple:
+        """The expected file header of one stage's artifacts."""
+        from repro import __version__
+
+        return (
+            _MAGIC,
+            SCHEMA_VERSION,
+            stage,
+            CODEC_VERSIONS.get(stage, 0),
+            __version__,
+            sys.byteorder,
+        )
+
+    # -- maintenance -----------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-stage artifact counts and byte totals of the disk tier.
+
+        Returns:
+            Mapping ``stage -> {"artifacts": n, "bytes": total}`` for every
+            stage directory present under the root, sorted by stage name.
+        """
+        result: dict[str, dict[str, int]] = {}
+        if not self.root.is_dir():
+            return result
+        for stage_dir in sorted(self.root.iterdir()):
+            if not stage_dir.is_dir() or stage_dir.name == "sweeps":
+                continue
+            count = 0
+            total = 0
+            for path in stage_dir.rglob(f"*{_SUFFIX}"):
+                count += 1
+                total += path.stat().st_size
+            result[stage_dir.name] = {"artifacts": count, "bytes": total}
+        return result
+
+    def clear(self) -> int:
+        """Delete every stored artifact file.
+
+        Sweep manifests and case reports under ``<root>/sweeps`` are left
+        alone — only the content-addressed tier is dropped.
+
+        Returns:
+            The number of artifact files removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for stage_dir in list(self.root.iterdir()):
+            if not stage_dir.is_dir() or stage_dir.name == "sweeps":
+                continue
+            for path in stage_dir.rglob(f"*{_SUFFIX}"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def __repr__(self) -> str:
+        """The store's root directory, for logs and error messages."""
+        return f"DiskStore({str(self.root)!r})"

@@ -352,6 +352,33 @@ class AnnotatedASGraph:
 
     # -- conversion ---------------------------------------------------------------
 
+    def adjacency_rows(self) -> list[tuple[ASN, tuple[tuple[ASN, Relationship], ...]]]:
+        """Dump the adjacency structure in exact iteration order.
+
+        Returns one ``(asn, ((neighbor, relationship), ...))`` row per AS,
+        preserving the insertion order of both the AS map and each
+        neighbor map.  :meth:`from_adjacency_rows` rebuilds a graph whose
+        iteration orders (``ases()``, ``neighbor_items()``, ...) are
+        identical to this one's — the property the storage codecs rely on
+        so that artifacts loaded from disk behave exactly like freshly
+        generated ones.
+        """
+        return [
+            (asn, tuple(neighbors.items()))
+            for asn, neighbors in self._neighbors.items()
+        ]
+
+    @classmethod
+    def from_adjacency_rows(
+        cls, rows: Iterable[tuple[ASN, Iterable[tuple[ASN, Relationship]]]]
+    ) -> "AnnotatedASGraph":
+        """Rebuild a graph from :meth:`adjacency_rows` output, order included."""
+        graph = cls()
+        neighbors = graph._neighbors
+        for asn, row in rows:
+            neighbors[asn] = dict(row)
+        return graph
+
     def to_networkx(self):
         """Export the graph as a :class:`networkx.DiGraph` for ad-hoc analysis.
 

@@ -161,6 +161,104 @@ class TestCommands:
         assert "workers" in capsys.readouterr().err
 
 
+class TestCacheCommands:
+    def test_run_with_cache_dir_persists_artifacts(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys, "run", "table1", "--scenario", "multihoming@5",
+            "--cache-dir", str(cache_dir),
+        )
+        assert (cache_dir / "topology").is_dir()
+        assert (cache_dir / "propagation").is_dir()
+
+    def test_cache_stats_text_and_json(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys, "run", "table1", "--scenario", "multihoming@5",
+            "--cache-dir", str(cache_dir),
+        )
+        out = run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir))
+        assert "topology" in out and "artifact(s)" in out
+        payload = json.loads(
+            run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir), "--json")
+        )
+        assert payload["disk"]["topology"]["artifacts"] >= 1
+        assert payload["disk"]["propagation"]["bytes"] > 0
+
+    def test_cache_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys, "run", "table1", "--scenario", "multihoming@5",
+            "--cache-dir", str(cache_dir),
+        )
+        out = run_cli(capsys, "cache", "clear", "--cache-dir", str(cache_dir))
+        assert "cleared" in out
+        payload = json.loads(
+            run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir), "--json")
+        )
+        assert all(entry["artifacts"] == 0 for entry in payload["disk"].values())
+
+    def test_second_run_hits_the_disk_tier(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = run_cli(
+            capsys, "run", "table5", "--scenario", "multihoming@5", "--json",
+            "--cache-dir", str(cache_dir),
+        )
+        second = run_cli(
+            capsys, "run", "table5", "--scenario", "multihoming@5", "--json",
+            "--cache-dir", str(cache_dir),
+        )
+        assert json.loads(first)["experiments"][0]["rows"] == (
+            json.loads(second)["experiments"][0]["rows"]
+        )
+
+
+class TestSweepCommand:
+    def test_sweep_runs_resumes_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = (
+            "sweep", "collector-size@0", "collector-size@1",
+            "-e", "table2", "--cache-dir", cache_dir,
+        )
+        cold = json.loads(run_cli(capsys, *args, "--json"))
+        assert cold["ok"] and cold["counts"]["completed"] == 2
+
+        resumed = json.loads(run_cli(capsys, *args, "--json"))
+        assert resumed["counts"]["resumed"] == 2
+
+        warm = json.loads(
+            run_cli(
+                capsys, *args, "--json", "--sweep-dir", str(tmp_path / "warm")
+            )
+        )
+        assert warm["counts"]["cached"] == 2
+
+    def test_sweep_family_expansion(self, capsys, tmp_path):
+        report = json.loads(
+            run_cli(
+                capsys, "sweep", "--family", "collector-size", "--count", "2",
+                "-e", "table2", "--cache-dir", str(tmp_path / "cache"), "--json",
+            )
+        )
+        specs = [case["spec"] for case in report["cases"]]
+        assert specs == ["collector-size@0", "collector-size@1"]
+
+    def test_sweep_without_cases_fails_cleanly(self, capsys, tmp_path):
+        assert cli_main(["sweep", "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "at least one case" in capsys.readouterr().err
+
+    def test_sweep_interruption_exit_code(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAIL_AFTER", "1")
+        code = cli_main(
+            [
+                "sweep", "collector-size@0", "collector-size@1",
+                "-e", "table2", "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 3
+        assert "interrupted" in capsys.readouterr().err
+
+
 class TestLegacyShim:
     def test_list_flag(self, capsys):
         assert legacy_main(["--list"]) == 0

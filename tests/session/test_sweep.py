@@ -1,0 +1,139 @@
+"""Tests for the resumable cross-process sweep orchestrator."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.session.sweep import (
+    SweepInterrupted,
+    expand_case_specs,
+    run_sweep,
+)
+
+#: Small, fast family samples (≈50-AS topologies) used across the tests.
+CASES = ["collector-size@0", "collector-size@1", "multihoming@0"]
+
+#: A light experiment subset keeps each case well under a second.
+EXPERIMENTS = ["table2", "table5"]
+
+
+class TestExpandCaseSpecs:
+    def test_explicit_specs_pass_through(self):
+        assert expand_case_specs(["small", "multihoming@3"]) == [
+            "small",
+            "multihoming@3",
+        ]
+
+    def test_family_expansion(self):
+        assert expand_case_specs(None, ["multihoming"], count=3, seed=5) == [
+            "multihoming@5",
+            "multihoming@6",
+            "multihoming@7",
+        ]
+
+    def test_deduplicates_in_order(self):
+        assert expand_case_specs(
+            ["multihoming@0"], ["multihoming"], count=2, seed=0
+        ) == ["multihoming@0", "multihoming@1"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            expand_case_specs([])
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ExperimentError):
+            expand_case_specs(None, ["no-such-family"])
+
+
+class TestRunSweep:
+    def test_cold_then_resumed_then_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_sweep(CASES, cache_dir=cache_dir, experiments=EXPERIMENTS)
+        assert cold.ok
+        assert cold.count("completed") == len(CASES)
+
+        # Same sweep again: the manifest short-circuits every case.
+        resumed = run_sweep(CASES, cache_dir=cache_dir, experiments=EXPERIMENTS)
+        assert resumed.count("resumed") == len(CASES)
+
+        # Fresh sweep dir, same artifact store: reports come from the disk
+        # tier without any stage being rebuilt.
+        warm = run_sweep(
+            CASES,
+            cache_dir=cache_dir,
+            sweep_dir=tmp_path / "warm",
+            experiments=EXPERIMENTS,
+        )
+        assert warm.count("cached") == len(CASES)
+        for case in warm.cases:
+            assert case.cache_stats["report"]["disk_hits"] == 1
+
+        # Byte-identical case reports between the cold and warm sweeps.
+        for cold_case, warm_case in zip(cold.cases, warm.cases):
+            cold_text = open(cold_case.report_path).read()
+            warm_text = open(warm_case.report_path).read()
+            assert cold_text == warm_text
+
+    def test_interrupt_and_resume(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with pytest.raises(SweepInterrupted):
+            run_sweep(
+                CASES, cache_dir=cache_dir, experiments=EXPERIMENTS, fail_after=1
+            )
+        report = run_sweep(CASES, cache_dir=cache_dir, experiments=EXPERIMENTS)
+        assert report.ok
+        assert report.count("resumed") == 1
+        # Interrupted work is still reused: the remaining cases may be
+        # completed or served from the report tier, but nothing is lost.
+        assert report.count("resumed") + report.count("completed") + report.count(
+            "cached"
+        ) == len(CASES)
+        manifest = json.loads(
+            (tmp_path / "cache" / "sweeps").glob("*/manifest.json").__next__().read_text()
+        )
+        assert set(manifest["cases"]) == set(CASES)
+
+    def test_failed_case_is_isolated(self, tmp_path):
+        report = run_sweep(
+            ["collector-size@0", "multihoming@0"],
+            cache_dir=tmp_path / "cache",
+            experiments=["table2", "no-such-experiment"],
+        )
+        assert not report.ok
+        assert report.count("failed") == 2
+
+    def test_changed_experiments_recompute(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep(CASES[:1], cache_dir=cache_dir, experiments=["table2"])
+        other = run_sweep(CASES[:1], cache_dir=cache_dir, experiments=["table5"])
+        # New experiment set → new sweep dir and new report keys, but the
+        # stage artifacts are shared: no propagation rebuild happened.
+        case = other.cases[0]
+        assert case.status == "completed"
+        assert case.cache_stats["propagation"]["disk_hits"] == 1
+        assert case.cache_stats["propagation"]["misses"] == 0
+
+    def test_validates_specs_before_work(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            run_sweep(["no-such-scenario"], cache_dir=tmp_path / "cache")
+
+    def test_bad_workers(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            run_sweep(CASES, cache_dir=tmp_path / "cache", workers=0)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = run_sweep(
+            CASES,
+            cache_dir=tmp_path / "serial",
+            experiments=EXPERIMENTS,
+        )
+        parallel = run_sweep(
+            CASES,
+            cache_dir=tmp_path / "parallel",
+            experiments=EXPERIMENTS,
+            workers=2,
+        )
+        for left, right in zip(serial.cases, parallel.cases):
+            assert left.spec == right.spec
+            assert open(left.report_path).read() == open(right.report_path).read()

@@ -1,0 +1,28 @@
+"""Shared fixtures of the storage test suite: a tiny study, built once."""
+
+import pytest
+
+from repro.session.cache import StageCache
+from repro.session.stages import ObservationParameters, StudyConfig
+from repro.session.study import Study
+from repro.topology.generator import GeneratorParameters
+
+#: A deliberately tiny configuration: the full six-stage pipeline builds in
+#: well under a second, so every codec test can afford fresh studies.
+TINY_CONFIG = StudyConfig(
+    topology=GeneratorParameters(
+        seed=3, tier1_count=3, tier2_count=4, tier3_count=6, stub_count=25
+    ),
+    observation=ObservationParameters(
+        looking_glass_count=4, tier1_looking_glass_count=2, collector_vantage_count=6
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_study() -> Study:
+    """A fully built tiny study (memory-only cache), shared by the suite."""
+    study = Study(TINY_CONFIG, cache=StageCache())
+    study.dataset()
+    study.analysis()
+    return study

@@ -1,0 +1,148 @@
+"""Per-stage codec round-trips: disk-loaded artifacts equal fresh ones."""
+
+from repro.session.cache import StageCache
+from repro.session.stages import Stage
+from repro.session.study import Study
+from repro.session.suite import run_suite
+from repro.storage.codecs import codec_for
+from repro.storage.store import DiskStore
+
+
+def rib_rows(table):
+    """A Loc-RIB as comparable rows: (prefix, candidate routes, best index)."""
+    return [
+        (
+            entry.prefix,
+            entry.routes,
+            None if entry.best is None else entry.routes.index(entry.best),
+        )
+        for entry in table.entries()
+    ]
+
+
+def _warm_study(tiny_study, tmp_path) -> Study:
+    """A second study over the same config whose cache hits only the disk."""
+    disk = DiskStore(tmp_path)
+    cold = Study(tiny_study.config, cache=StageCache(disk=disk))
+    cold.dataset()
+    cold.analysis()
+    warm = Study(tiny_study.config, cache=StageCache(disk=disk))
+    return warm
+
+
+class TestStageRoundTrips:
+    def test_every_persistable_stage_has_a_codec(self):
+        for stage in Stage:
+            assert codec_for(stage.value) is not None
+        assert codec_for("dataset") is None
+
+    def test_topology(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        fresh = tiny_study.topology()
+        loaded = warm.topology()
+        assert warm.cache.stats_for("topology").disk_hits == 1
+        assert loaded.graph.adjacency_rows() == fresh.graph.adjacency_rows()
+        assert loaded.tiers.tiers == fresh.tiers.tiers
+        assert loaded.tiers.tier1 == fresh.tiers.tier1
+        assert loaded.originated == fresh.originated
+        assert loaded.split_pairs == fresh.split_pairs
+        assert loaded.provider_assigned == fresh.provider_assigned
+        assert loaded.allocator.blocks == fresh.allocator.blocks
+        assert loaded.allocator.dump_state() == fresh.allocator.dump_state()
+        assert loaded.parameters is warm.config.topology
+
+    def test_policies(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        fresh = tiny_study.policies()
+        loaded = warm.policies()
+        assert warm.cache.stats_for("policies").disk_hits == 1
+        assert loaded.vantage_ases == fresh.vantage_ases
+        assert loaded.looking_glass_ases == fresh.looking_glass_ases
+        assert loaded.assignment.policies == fresh.assignment.policies
+        assert loaded.assignment.selective_origins == fresh.assignment.selective_origins
+        assert loaded.assignment.scoped_origins == fresh.assignment.scoped_origins
+        assert loaded.assignment.selective_transits == fresh.assignment.selective_transits
+        assert loaded.assignment.atypical_ases == fresh.assignment.atypical_ases
+        assert loaded.assignment.tagging_ases == fresh.assignment.tagging_ases
+
+    def test_propagation(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        fresh = tiny_study.propagation()
+        loaded = warm.propagation()
+        assert warm.cache.stats_for("propagation").disk_hits == 1
+        assert loaded.message_count == fresh.message_count
+        assert loaded.truncated_prefixes == fresh.truncated_prefixes
+        assert loaded.observed_ases == fresh.observed_ases
+        for asn in fresh.observed_ases:
+            assert rib_rows(loaded.table_of(asn)) == rib_rows(fresh.table_of(asn))
+        # The decoded result shares the upstream artifacts, not copies.
+        assert loaded.internet is warm.topology()
+        assert loaded.assignment is warm.policies().assignment
+
+    def test_propagation_best_route_identity(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        loaded = warm.propagation()
+        for asn in loaded.observed_ases:
+            for entry in loaded.table_of(asn).entries():
+                if entry.best is not None:
+                    assert any(route is entry.best for route in entry.routes)
+                    assert entry.best not in entry.alternatives()
+
+    def test_observation(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        fresh = tiny_study.observation()
+        loaded = warm.observation()
+        assert warm.cache.stats_for("observation").disk_hits == 1
+        assert loaded.collector.entries == fresh.collector.entries
+        assert set(loaded.looking_glasses) == set(fresh.looking_glasses)
+        assert loaded.as_info == fresh.as_info
+        # Glasses wrap the propagation artifact's tables (object sharing).
+        result = warm.propagation()
+        for asn, glass in loaded.looking_glasses.items():
+            assert glass.table is result.table_of(asn)
+
+    def test_irr(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        assert warm.irr().render() == tiny_study.irr().render()
+        assert warm.cache.stats_for("irr").disk_hits == 1
+
+    def test_analysis(self, tiny_study, tmp_path):
+        warm = _warm_study(tiny_study, tmp_path)
+        fresh = tiny_study.analysis()
+        loaded = warm.analysis()
+        assert warm.cache.stats_for("analysis").disk_hits == 1
+        assert loaded.index.stats() == fresh.index.stats()
+        assert loaded.index.prefixes == fresh.index.prefixes
+        assert loaded.index.paths == fresh.index.paths
+        assert loaded.index.collapsed == fresh.index.collapsed
+        assert loaded.index.adjacency == fresh.index.adjacency
+        assert loaded.index.rows_by_prefix == fresh.index.rows_by_prefix
+        # The decoded engine is adopted as the dataset's memoised engine.
+        assert warm.dataset().analysis_engine() is loaded
+
+
+class TestResultEquality:
+    def test_suite_json_identical_fresh_cold_warm(self, tiny_study, tmp_path):
+        disk = DiskStore(tmp_path)
+        fresh = run_suite(tiny_study, scenario="tiny").to_json(include_timing=False)
+        cold = run_suite(
+            Study(tiny_study.config, cache=StageCache(disk=disk)), scenario="tiny"
+        ).to_json(include_timing=False)
+        warm_study = Study(tiny_study.config, cache=StageCache(disk=disk))
+        warm = run_suite(warm_study, scenario="tiny").to_json(include_timing=False)
+        assert fresh == cold == warm
+        for stage in Stage:
+            assert warm_study.cache.stats_for(stage.value).misses == 0, stage
+
+    def test_corrupt_artifact_falls_back_to_build(self, tiny_study, tmp_path):
+        disk = DiskStore(tmp_path)
+        cold = Study(tiny_study.config, cache=StageCache(disk=disk))
+        cold.propagation()
+        key = cold.stage_key(Stage.PROPAGATION)
+        path = disk.path_for("propagation", key)
+        path.write_bytes(path.read_bytes()[:100])  # truncate: header survives?
+        warm = Study(tiny_study.config, cache=StageCache(disk=disk))
+        loaded = warm.propagation()
+        stats = warm.cache.stats_for("propagation")
+        assert stats.misses == 1  # rebuilt, not decoded
+        assert loaded.message_count == tiny_study.propagation().message_count

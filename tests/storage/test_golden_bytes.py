@@ -1,0 +1,72 @@
+"""Golden byte-identity: codecs serialize identically across interpreters.
+
+Two fresh Python processes, launched with *different* randomized
+``PYTHONHASHSEED`` values, build the same tiny study and print the SHA-256
+of every stage's encoded artifact.  The digests must match exactly — the
+property that makes the shared disk tier trustworthy across processes,
+machines in a fleet, and the sweep orchestrator's byte-identical reports.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+_SCRIPT = """
+import hashlib
+from repro.session.cache import StageCache, fingerprint
+from repro.session.stages import ObservationParameters, Stage, StudyConfig
+from repro.session.study import Study
+from repro.storage.codecs import codec_for
+from repro.topology.generator import GeneratorParameters
+
+config = StudyConfig(
+    topology=GeneratorParameters(
+        seed=3, tier1_count=3, tier2_count=4, tier3_count=6, stub_count=25
+    ),
+    observation=ObservationParameters(
+        looking_glass_count=4, tier1_looking_glass_count=2,
+        collector_vantage_count=6,
+    ),
+)
+study = Study(config, cache=StageCache())
+artifacts = {
+    "topology": study.topology(),
+    "policies": study.policies(),
+    "propagation": study.propagation(),
+    "observation": study.observation(),
+    "irr": study.irr(),
+    "analysis": study.analysis(),
+}
+for stage in Stage:
+    data = codec_for(stage.value).encode(artifacts[stage.value])
+    print(stage.value, hashlib.sha256(data).hexdigest())
+    print(stage.value + "-key", study.stage_key(stage))
+print("config-fingerprint", fingerprint(config))
+"""
+
+
+def _run(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_DIR", None)
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_encoded_artifacts_byte_identical_across_interpreters():
+    first = _run("1")
+    second = _run("4242")
+    assert first == second
+    # Sanity: every stage produced a digest line plus a key line.
+    assert len(first.strip().splitlines()) == 13

@@ -1,0 +1,82 @@
+"""Tests of the content-addressed disk tier."""
+
+from repro.storage import versions
+from repro.storage.store import DiskStore
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.write("topology", "abc123", b"payload")
+        assert store.read("topology", "abc123") == b"payload"
+
+    def test_missing_is_none(self, tmp_path):
+        assert DiskStore(tmp_path / "nowhere").read("topology", "k") is None
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.write("irr", "k1", b"one")
+        store.write("irr", "k1", b"two")
+        assert store.read("irr", "k1") == b"two"
+        stage_dir = tmp_path / "irr"
+        assert not list(stage_dir.rglob("*.tmp"))
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        path = store.write("topology", "k", b"payload")
+        path.write_bytes(b"garbage")
+        assert store.read("topology", "k") is None
+
+    def test_flipped_byte_inside_header_string_reads_as_miss(self, tmp_path):
+        # Corruption may surface as a UnicodeDecodeError (invalid UTF-8 in
+        # a packed string), not just a StorageError — still a miss.
+        store = DiskStore(tmp_path)
+        path = store.write("topology", "k", b"payload")
+        data = bytearray(path.read_bytes())
+        position = data.index(b"repro-artifact")
+        data[position] = 0xFF
+        path.write_bytes(bytes(data))
+        assert store.read("topology", "k") is None
+
+    def test_stage_mismatch_reads_as_miss(self, tmp_path):
+        store = DiskStore(tmp_path)
+        path = store.write("topology", "k", b"payload")
+        moved = tmp_path / "policies" / "k"[:2]
+        moved.mkdir(parents=True)
+        (moved / path.name).write_bytes(path.read_bytes())
+        assert store.read("policies", "k") is None
+
+    def test_schema_version_mismatch_reads_as_miss(self, tmp_path, monkeypatch):
+        store = DiskStore(tmp_path)
+        store.write("topology", "k", b"payload")
+        monkeypatch.setattr(versions, "SCHEMA_VERSION", versions.SCHEMA_VERSION + 1)
+        monkeypatch.setattr(
+            "repro.storage.store.SCHEMA_VERSION", versions.SCHEMA_VERSION
+        )
+        assert store.read("topology", "k") is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.write("topology", "aa11", b"x" * 10)
+        store.write("topology", "bb22", b"y" * 20)
+        store.write("irr", "cc33", b"z")
+        stats = store.stats()
+        assert stats["topology"]["artifacts"] == 2
+        assert stats["irr"]["artifacts"] == 1
+        assert stats["topology"]["bytes"] > 30
+        removed = store.clear()
+        assert removed == 3
+        assert store.stats() == {"irr": {"artifacts": 0, "bytes": 0},
+                                 "topology": {"artifacts": 0, "bytes": 0}}
+        assert store.read("topology", "aa11") is None
+
+    def test_clear_leaves_sweeps_alone(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.write("topology", "aa11", b"x")
+        sweep_file = tmp_path / "sweeps" / "digest" / "manifest.json"
+        sweep_file.parent.mkdir(parents=True)
+        sweep_file.write_text("{}")
+        store.clear()
+        assert sweep_file.exists()
