@@ -7,7 +7,10 @@ Walks ``README.md`` and every Markdown file under ``docs/`` and verifies:
   attributes (classes, functions, methods), so renaming a module or an
   analyzer without updating the docs fails CI;
 * every relative Markdown link ``[text](path)`` points at a file or
-  directory that exists (anchors and absolute URLs are skipped).
+  directory that exists (anchors and absolute URLs are skipped);
+* the rule catalogue in ``docs/linting.md`` matches the ``repro lint``
+  registry in both directions — a registered rule id missing from the
+  docs, or a documented id missing from the registry, fails.
 
 Exits non-zero listing every broken reference.  Pure standard library.
 """
@@ -74,12 +77,37 @@ def _check_file(path: pathlib.Path) -> list[str]:
     return problems
 
 
+#: Lint rule identifiers as they appear in docs/linting.md (`DET001`, ...).
+_RULE_ID = re.compile(r"`([A-Z]{3,5}\d{3})`")
+
+
+def _check_lint_catalogue() -> list[str]:
+    """Mismatches between docs/linting.md and the repro lint registry."""
+    from repro.devtools.engine import rule_ids
+
+    doc_path = ROOT / "docs" / "linting.md"
+    if not doc_path.is_file():
+        return ["docs/linting.md: missing (the repro lint catalogue lives here)"]
+    documented = set(_RULE_ID.findall(doc_path.read_text()))
+    registered = set(rule_ids())
+    problems = [
+        f"docs/linting.md: registered rule {rule_id} is undocumented"
+        for rule_id in sorted(registered - documented)
+    ]
+    problems.extend(
+        f"docs/linting.md: documented rule {rule_id} is not registered"
+        for rule_id in sorted(documented - registered)
+    )
+    return problems
+
+
 def main() -> int:
     """Check every doc file; print problems and return an exit status."""
     problems: list[str] = []
     files = _doc_files()
     for path in files:
         problems.extend(_check_file(path))
+    problems.extend(_check_lint_catalogue())
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)

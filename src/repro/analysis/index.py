@@ -257,7 +257,7 @@ class MeasurementIndex:
             self.col_path.append(path_id)
             self.rows_by_prefix.setdefault(pid, []).append(row)
             collapsed = self.collapsed[path_id]
-            for asn in set(collapsed):
+            for asn in sorted(set(collapsed)):
                 self.rows_by_member.setdefault(asn, []).append(row)
             self.adjacency.update(zip(collapsed, collapsed[1:]))
 

@@ -20,6 +20,9 @@ Usage::
     python -m repro sweep standard large --cache-dir /shared/cache
     python -m repro cache stats                  # disk-tier artifact counts
     python -m repro cache clear                  # drop the disk tier
+    python -m repro lint                         # static analysis over src/ + scripts/
+    python -m repro lint --baseline              # enforce the committed lint baseline
+    python -m repro lint --list-rules            # the rule catalogue
 
 ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) attaches
 the durable artifact store (see ``docs/storage.md``): stage artifacts are
@@ -304,6 +307,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "clear", help="delete every artifact file of the disk tier"
     )
     _add_cache_dir_option(cache_clear, required=True)
+
+    from repro.devtools.lint import build_parser as build_lint_parser
+
+    build_lint_parser(
+        commands.add_parser(
+            "lint",
+            help="static analysis: determinism, codec-drift and pool-safety rules "
+            "(see docs/linting.md)",
+        )
+    )
     return parser
 
 
@@ -475,6 +488,12 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     args = _build_parser().parse_args(argv)
@@ -491,6 +510,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_sweep(args)
         if args.command == "cache":
             return _command_cache(args)
+        if args.command == "lint":
+            return _command_lint(args)
         return _command_scenarios(args)
     except BrokenPipeError:  # e.g. `python -m repro run | head`
         return 0

@@ -1,0 +1,200 @@
+"""The committed lint baseline: known findings with rationales, ratcheted.
+
+A baseline entry acknowledges one finding (matched by its line-insensitive
+:attr:`~repro.devtools.model.Finding.key`) and records *why* it is
+acceptable.  ``python -m repro lint --baseline`` then enforces a ratchet:
+
+* findings not in the baseline fail the run (new debt is rejected);
+* baseline entries matching no finding fail the run (the debt was paid —
+  delete the entry, the baseline only shrinks);
+* entries with an empty rationale fail the run (an acknowledgement without
+  a reason is not an acknowledgement).
+
+The file format is deliberately boring JSON so diffs review well::
+
+    {"version": 1, "entries": [
+        {"rule": "POOL002", "path": "src/...", "message": "...",
+         "rationale": "initializer-owned; set once per worker"}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.model import Finding
+
+#: The only baseline file format version this reader understands.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged finding with its rationale.
+
+    Attributes:
+        rule: the acknowledged rule id.
+        path: repo-relative posix path of the finding.
+        message: the finding's message (line-insensitive identity part).
+        rationale: why this finding is acceptable; must be non-empty.
+    """
+
+    rule: str
+    path: str
+    message: str
+    rationale: str
+
+    @property
+    def key(self) -> str:
+        """The matching key, mirroring :attr:`Finding.key`."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict with a stable key order."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "rationale": self.rationale,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of acknowledged findings loaded from (or written to) disk.
+
+    Attributes:
+        entries: the acknowledged findings, in file order.
+    """
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file.
+
+        Args:
+            path: the baseline JSON file.
+
+        Returns:
+            The parsed baseline; an empty one when the file is absent.
+
+        Raises:
+            ValueError: when the file is malformed or has a foreign version.
+        """
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"baseline {path} is not valid JSON: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} must be a JSON object with version {BASELINE_VERSION}"
+            )
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"baseline {path}: 'entries' must be a list")
+        entries = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {path}: entry {index} is not an object")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        message=str(raw["message"]),
+                        rationale=str(raw.get("rationale", "")),
+                    )
+                )
+            except KeyError as error:
+                raise ValueError(
+                    f"baseline {path}: entry {index} misses key {error}"
+                ) from error
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[str]]:
+        """Split findings into unacknowledged ones plus baseline errors.
+
+        Matching is by key with multiplicity: two identical findings need
+        two identical entries — otherwise a duplicated hazard could hide
+        behind a single acknowledgement.
+
+        Args:
+            findings: the run's findings.
+
+        Returns:
+            ``(remaining findings, baseline errors)`` where errors cover
+            stale entries (the ratchet) and empty rationales.
+        """
+        budget: dict[str, int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + 1
+        remaining: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.key, 0) > 0:
+                budget[finding.key] -= 1
+            else:
+                remaining.append(finding)
+        errors: list[str] = []
+        for entry in self.entries:
+            if not entry.rationale.strip():
+                errors.append(
+                    f"entry for {entry.key} has no rationale; explain why it is acceptable"
+                )
+        seen_stale: dict[str, int] = {}
+        for entry in self.entries:
+            leftover = budget.get(entry.key, 0)
+            reported = seen_stale.get(entry.key, 0)
+            if reported < leftover:
+                seen_stale[entry.key] = reported + 1
+                errors.append(
+                    f"stale entry {entry.key} matches no current finding; "
+                    "remove it (the baseline only shrinks)"
+                )
+        return remaining, errors
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """A baseline acknowledging the given findings.
+
+        Rationales of entries surviving from ``previous`` are preserved;
+        new entries get an empty rationale the author must fill in before
+        ``--baseline`` mode accepts the file.
+
+        Args:
+            findings: the findings to acknowledge.
+            previous: an existing baseline whose rationales carry over.
+
+        Returns:
+            The new baseline, sorted by key for stable diffs.
+        """
+        rationales: dict[str, list[str]] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                rationales.setdefault(entry.key, []).append(entry.rationale)
+        entries = []
+        for finding in sorted(findings, key=lambda f: f.key):
+            pool = rationales.get(finding.key, [])
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    rationale=pool.pop(0) if pool else "",
+                )
+            )
+        return cls(entries=entries)

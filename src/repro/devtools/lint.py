@@ -1,0 +1,242 @@
+"""File collection and CLI glue for ``python -m repro lint``.
+
+:func:`lint_paths` is the library entry point (used by tests and the CLI
+alike): collect ``*.py`` files, parse each into a
+:class:`~repro.devtools.engine.ModuleUnderLint`, run the registered rules
+and return a :class:`~repro.devtools.model.LintReport`.  :func:`run_lint`
+wraps it for the argparse subcommand, adding ``--json`` output and the
+baseline modes (``--baseline`` to enforce, ``--write-baseline`` to
+regenerate while keeping existing rationales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.engine import (
+    PARSE_RULE,
+    LintContext,
+    ModuleUnderLint,
+    Rule,
+    all_rules,
+    lint_module,
+    rule_ids,
+)
+from repro.devtools.model import Finding, LintReport
+
+#: Directory names never descended into while collecting files.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+#: Default lint targets, relative to the project root.
+DEFAULT_PATHS = ("src", "scripts")
+
+#: Default baseline file name, relative to the project root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Every ``*.py`` file under the given files/directories, sorted.
+
+    Args:
+        paths: files (taken as-is when ``.py``) and directories (recursed).
+
+    Returns:
+        Unique absolute paths in sorted order — directory walks use
+        ``sorted(rglob)`` so the lint run itself is deterministic.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py") if not _skipped(p))
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(p.resolve() for p in seen)
+
+
+def _skipped(path: Path) -> bool:
+    """``True`` when any path component is a skip directory."""
+    return any(part in _SKIP_DIRS for part in path.parts)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+    respect_scopes: bool = True,
+) -> LintReport:
+    """Lint files/directories and return the structured report.
+
+    Args:
+        paths: targets to collect ``*.py`` files from.
+        root: project root; findings use paths relative to it, and import
+            resolution for cross-module rules searches ``root/src`` then
+            ``root``.
+        rules: the rules to run (default: every registered rule).
+        respect_scopes: honour per-rule ``applies_to`` scoping.
+
+    Returns:
+        The report; unparseable files contribute one ``LINT002`` finding
+        each instead of aborting the run.
+    """
+    context = LintContext(root=root, src_roots=(root / "src", root))
+    selected = list(rules) if rules is not None else all_rules()
+    report = LintReport(rules=[rule.id for rule in selected])
+    for file_path in collect_files(paths):
+        report.files += 1
+        display = _display_path(file_path, root)
+        try:
+            source = file_path.read_text()
+            module = ModuleUnderLint.parse(display, source)
+        except (OSError, SyntaxError, ValueError) as error:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    path=display,
+                    line=getattr(error, "lineno", None) or 1,
+                    column=0,
+                    message=f"cannot lint file: {error}",
+                )
+            )
+            continue
+        report.findings.extend(
+            lint_module(module, context, rules=selected, respect_scopes=respect_scopes)
+        )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.column))
+    return report
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """``path`` relative to ``root`` as posix, or absolute when outside."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _iter_rule_listing() -> Iterator[str]:
+    """Human-readable ``ID  summary`` lines for every registered rule."""
+    for rule in all_rules():
+        yield f"{rule.id}  [{rule.family}]  {rule.summary}"
+    yield "LINT001  [LINT]  unused or unknown inline suppression"
+    yield "LINT002  [LINT]  file could not be parsed"
+
+
+def build_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="project root for relative paths and import resolution",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="FILE",
+        help=(
+            "enforce the committed baseline (findings must be acknowledged "
+            f"with rationales; stale entries fail). Default file: {DEFAULT_BASELINE}"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="FILE",
+        help="regenerate the baseline from current findings, keeping rationales",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the ``lint`` subcommand.
+
+    Args:
+        args: parsed arguments from :func:`build_parser`.
+
+    Returns:
+        ``0`` when clean, ``1`` on findings/baseline errors, ``2`` on
+        usage or configuration errors.
+    """
+    if args.list_rules:
+        for line in _iter_rule_listing():
+            print(line)
+        return 0
+    root = args.root.resolve()
+    targets = [
+        (root / p if not Path(p).is_absolute() else Path(p))
+        for p in (args.paths or DEFAULT_PATHS)
+    ]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(targets, root)
+    if args.write_baseline is not None:
+        baseline_path = root / args.write_baseline
+        try:
+            previous = Baseline.load(baseline_path)
+        except ValueError:
+            previous = None
+        Baseline.from_findings(report.findings, previous).save(baseline_path)
+        print(
+            f"wrote {len(report.findings)} entr(ies) to "
+            f"{_display_path(baseline_path, root)}"
+        )
+        return 0
+    if args.baseline is not None:
+        baseline_path = root / args.baseline
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as error:
+            print(f"lint: {error}", file=sys.stderr)
+            return 2
+        report.findings, report.baseline_errors = baseline.apply(report.findings)
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.lint``)."""
+    parser = build_parser(
+        argparse.ArgumentParser(prog="repro-lint", description=__doc__)
+    )
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "build_parser",
+    "collect_files",
+    "lint_paths",
+    "main",
+    "run_lint",
+    "rule_ids",
+]

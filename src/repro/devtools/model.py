@@ -1,0 +1,104 @@
+"""Finding and report models shared by the lint engine, CLI and baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.key` deliberately excludes the line number: baselines match
+findings by ``(rule, path, message)`` so routine edits that shift code
+around do not invalidate a recorded rationale, while any change to *what*
+is wrong (a different expression, a different field) produces a new key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: the violated rule's identifier (e.g. ``"DET001"``).
+        path: repo-relative posix path of the offending file.
+        line: 1-based line of the violation.
+        column: 0-based column of the violation.
+        message: the violation description (stable: no line numbers).
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """The line-insensitive identity used by baseline matching."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        """The finding as one ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict with a stable key order."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """The structured result of one lint run.
+
+    Attributes:
+        findings: every unsuppressed finding, in ``(path, line, rule)`` order.
+        files: how many files were parsed and checked.
+        rules: identifiers of the rules that ran.
+        baseline_errors: baseline bookkeeping problems (stale entries,
+            missing rationales) reported by ``--baseline`` mode.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+    baseline_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when there is nothing to report."""
+        return not self.findings and not self.baseline_errors
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict with a stable key order."""
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baseline_errors": list(self.baseline_errors),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """A human-readable summary, one line per finding."""
+        lines = [finding.render() for finding in self.findings]
+        lines.extend(f"baseline: {error}" for error in self.baseline_errors)
+        if self.ok:
+            lines.append(
+                f"checked {self.files} file(s) against {len(self.rules)} rule(s): clean"
+            )
+        else:
+            lines.append(
+                f"{len(self.findings)} finding(s), "
+                f"{len(self.baseline_errors)} baseline error(s) "
+                f"in {self.files} file(s)"
+            )
+        return "\n".join(lines)

@@ -316,7 +316,7 @@ class StageView:
         intermediate products (:mod:`repro.experiments.common`) are computed
         once per dataset, not once per experiment.
         """
-        return id(self._dataset)
+        return id(self._dataset)  # repro: noqa[DET002] -- per-process memo identity; never persisted or fingerprinted
 
     def restricted(self, requires: frozenset[Stage]) -> "StageView":
         """A narrower view over the same dataset."""

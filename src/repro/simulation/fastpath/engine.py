@@ -559,7 +559,7 @@ def _init_worker(topology: CompiledTopology, message_budget: int) -> None:
 
 
 def _run_chunk(task_indices: list[int]) -> list[tuple[int, dict, int, bool]]:
-    core = _WORKER_CORE
+    core = _WORKER_CORE  # repro: noqa[POOL002] -- initializer-owned: _init_worker sets it once per worker before any task runs
     assert core is not None, "worker used before initialization"
     topology = core.topology
     out = []

@@ -921,7 +921,7 @@ class AnalysisCodec(StageCodec):
         for row in range(len(col_prefix)):
             index.rows_by_prefix.setdefault(col_prefix[row], []).append(row)
             collapsed = index.collapsed[col_path[row]]
-            for asn in set(collapsed):
+            for asn in sorted(set(collapsed)):
                 index.rows_by_member.setdefault(asn, []).append(row)
             index.adjacency.update(zip(collapsed, collapsed[1:]))
 

@@ -151,7 +151,7 @@ class DiskStore:
                 continue
             count = 0
             total = 0
-            for path in stage_dir.rglob(f"*{_SUFFIX}"):
+            for path in sorted(stage_dir.rglob(f"*{_SUFFIX}")):
                 count += 1
                 total += path.stat().st_size
             result[stage_dir.name] = {"artifacts": count, "bytes": total}
@@ -169,10 +169,10 @@ class DiskStore:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for stage_dir in list(self.root.iterdir()):
+        for stage_dir in sorted(self.root.iterdir()):
             if not stage_dir.is_dir() or stage_dir.name == "sweeps":
                 continue
-            for path in stage_dir.rglob(f"*{_SUFFIX}"):
+            for path in sorted(stage_dir.rglob(f"*{_SUFFIX}")):
                 try:
                     path.unlink()
                     removed += 1

@@ -1,0 +1,21 @@
+"""Fixture: a codec module that covers every field it serializes."""
+from dataclasses import dataclass
+
+
+class StageCodec:
+    pass
+
+
+@dataclass
+class Payload:
+    left: int
+    right: int
+
+
+class PayloadCodec(StageCodec):
+    def lower(self, payload: Payload):
+        return (payload.left, payload.right)
+
+    def raise_(self, tree):
+        left, right = tree
+        return Payload(left=left, right=right)

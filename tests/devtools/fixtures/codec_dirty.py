@@ -1,0 +1,22 @@
+"""Fixture: a codec module with schema drift and unknown attributes."""
+from dataclasses import dataclass
+
+
+class StageCodec:
+    pass
+
+
+@dataclass
+class Payload:
+    left: int
+    right: int
+    forgotten: str
+
+
+class PayloadCodec(StageCodec):
+    def lower(self, payload: Payload):
+        return (payload.left, payload.right, payload.missing)
+
+    def raise_(self, tree):
+        left, right = tree
+        return Payload(left=left, right=right, bogus=0)

@@ -1,0 +1,17 @@
+"""Fixture: determinism-conscious versions of the det_dirty snippets."""
+import os
+import random
+
+
+def fingerprint_members(members):
+    seen = set(members)
+    return sorted(seen)
+
+
+def sample(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def scan(root):
+    return sorted(os.listdir(root))

@@ -1,0 +1,20 @@
+"""Fixture: every DET rule fires at least once (see tests/devtools)."""
+import os
+import random
+import time
+
+
+def fingerprint_members(members):
+    seen = set(members)
+    ordered = [member for member in seen]
+    for member in seen:
+        ordered.append(member)
+    return ordered
+
+
+def stamp(value):
+    return (id(value), time.time(), random.random())
+
+
+def scan(root):
+    return [entry for entry in os.listdir(root)]

@@ -1,0 +1,12 @@
+"""Fixture: the picklable, argument-passing way to use a process pool."""
+import functools
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(scale, case):
+    return scale * case
+
+
+def run(cases):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(functools.partial(_worker, 2), cases))

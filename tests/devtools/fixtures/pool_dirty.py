@@ -1,0 +1,19 @@
+"""Fixture: unpicklable pool submissions and stale worker state."""
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+
+
+def _worker(case):
+    return _RESULTS.get(case)
+
+
+def run(cases, helper):
+    def local(case):
+        return case * 2
+
+    with ProcessPoolExecutor() as pool:
+        pool.submit(lambda: 1)
+        pool.submit(local, cases[0])
+        pool.submit(helper.compute, cases[0])
+        return list(pool.map(_worker, cases))

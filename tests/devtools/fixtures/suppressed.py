@@ -1,0 +1,14 @@
+"""Fixture: one used suppression, one stale, one naming an unknown rule."""
+import time
+
+
+def stamp():
+    return time.time()  # repro: noqa[DET002] -- fixture: wall-clock is the point here
+
+
+def stale():
+    return 1  # repro: noqa[DET002] -- nothing fires on this line
+
+
+def unknown():
+    return 2  # repro: noqa[NOPE999] -- no such rule

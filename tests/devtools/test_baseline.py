@@ -1,0 +1,130 @@
+"""Baseline mechanics: round-trip, ratchet errors, rationale preservation."""
+
+import json
+
+import pytest
+
+from repro.devtools.baseline import Baseline, BaselineEntry
+from repro.devtools.model import Finding
+
+
+def _finding(rule="DET001", path="src/x.py", message="iterates a set", line=10):
+    return Finding(rule=rule, path=path, line=line, column=0, message=message)
+
+
+class TestRoundTrip:
+    def test_save_load_apply_round_trip(self, tmp_path):
+        findings = [_finding(), _finding(rule="POOL002", message="stale state")]
+        baseline = Baseline.from_findings(findings)
+        for entry in baseline.entries:
+            assert entry.rationale == ""
+        # Fill rationales the way an author would, then round-trip the file.
+        baseline.entries = [
+            BaselineEntry(e.rule, e.path, e.message, rationale="known and fine")
+            for e in baseline.entries
+        ]
+        target = tmp_path / "lint-baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        remaining, errors = loaded.apply(findings)
+        assert remaining == []
+        assert errors == []
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        baseline = Baseline(
+            entries=[BaselineEntry("DET001", "src/x.py", "iterates a set", "ok")]
+        )
+        remaining, errors = baseline.apply([_finding(line=999)])
+        assert remaining == []
+        assert errors == []
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == []
+
+    def test_save_is_deterministic_json(self, tmp_path):
+        baseline = Baseline(entries=[BaselineEntry("A1", "p", "m", "r")])
+        target = tmp_path / "b.json"
+        baseline.save(target)
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"][0] == {
+            "rule": "A1",
+            "path": "p",
+            "message": "m",
+            "rationale": "r",
+        }
+
+
+class TestRatchet:
+    def test_unacknowledged_finding_stays(self):
+        remaining, errors = Baseline().apply([_finding()])
+        assert len(remaining) == 1
+        assert errors == []
+
+    def test_stale_entry_is_an_error(self):
+        baseline = Baseline(
+            entries=[BaselineEntry("DET001", "src/gone.py", "old message", "ok")]
+        )
+        remaining, errors = baseline.apply([])
+        assert remaining == []
+        (error,) = errors
+        assert "stale entry" in error
+        assert "only shrinks" in error
+
+    def test_empty_rationale_is_an_error(self):
+        baseline = Baseline(
+            entries=[BaselineEntry("DET001", "src/x.py", "iterates a set", "  ")]
+        )
+        _, errors = baseline.apply([_finding()])
+        assert any("no rationale" in error for error in errors)
+
+    def test_multiplicity_two_findings_need_two_entries(self):
+        entry = BaselineEntry("DET001", "src/x.py", "iterates a set", "ok")
+        one_entry = Baseline(entries=[entry])
+        remaining, errors = one_entry.apply([_finding(line=1), _finding(line=2)])
+        assert len(remaining) == 1  # the second identical finding is NOT hidden
+        assert errors == []
+        two_entries = Baseline(entries=[entry, entry])
+        remaining, errors = two_entries.apply([_finding(line=1), _finding(line=2)])
+        assert remaining == []
+        assert errors == []
+
+
+class TestRegeneration:
+    def test_rationales_survive_regeneration(self):
+        previous = Baseline(
+            entries=[BaselineEntry("DET001", "src/x.py", "iterates a set", "why")]
+        )
+        regenerated = Baseline.from_findings(
+            [_finding(), _finding(rule="POOL001", message="lambda")], previous
+        )
+        by_rule = {entry.rule: entry for entry in regenerated.entries}
+        assert by_rule["DET001"].rationale == "why"
+        assert by_rule["POOL001"].rationale == ""
+
+    def test_entries_sorted_by_key(self):
+        regenerated = Baseline.from_findings(
+            [_finding(rule="Z9", message="z"), _finding(rule="A1", message="a")]
+        )
+        assert [entry.rule for entry in regenerated.entries] == ["A1", "Z9"]
+
+
+class TestMalformedFiles:
+    def test_invalid_json_raises(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Baseline.load(target)
+
+    def test_foreign_version_raises(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version 1"):
+            Baseline.load(target)
+
+    def test_missing_entry_key_raises(self, tmp_path):
+        target = tmp_path / "b.json"
+        target.write_text('{"version": 1, "entries": [{"rule": "X"}]}')
+        with pytest.raises(ValueError, match="entry 0"):
+            Baseline.load(target)

@@ -1,0 +1,81 @@
+"""DET family: fixtures fire on the dirty snippet and stay quiet on the clean."""
+
+
+class TestDirtyFixture:
+    def test_every_det_rule_fires(self, lint_fixture):
+        findings = lint_fixture("det_dirty.py")
+        by_rule = {}
+        for finding in findings:
+            by_rule.setdefault(finding.rule, []).append(finding)
+        # Comprehension over a set-valued name plus a for loop over it.
+        assert len(by_rule["DET001"]) == 2
+        # id(), time.time() and random.random().
+        assert len(by_rule["DET002"]) == 3
+        # The os.listdir() comprehension.
+        assert len(by_rule["DET003"]) == 1
+        assert set(by_rule) == {"DET001", "DET002", "DET003"}
+
+    def test_messages_name_the_expression(self, lint_fixture):
+        findings = lint_fixture("det_dirty.py", rules=("DET001",))
+        assert all("seen" in finding.message for finding in findings)
+
+
+class TestCleanFixture:
+    def test_clean_fixture_has_no_findings(self, lint_fixture):
+        assert lint_fixture("det_clean.py") == []
+
+    def test_seeded_random_instance_is_allowed(self, lint_source):
+        findings = lint_source(
+            "import random\n"
+            "def sample(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.shuffle([1, 2])\n"
+        )
+        assert findings == []
+
+
+class TestTargetedCases:
+    def test_sorted_set_iteration_is_allowed(self, lint_source):
+        assert lint_source("for x in sorted(set('ab')):\n    pass\n") == []
+
+    def test_set_comprehension_result_is_exempt(self, lint_source):
+        # A set built from a set is still unordered: no order leaked.
+        assert lint_source("values = {v for v in set('ab')}\n") == []
+
+    def test_dict_comprehension_over_set_fires(self, lint_source):
+        findings = lint_source("values = {v: 1 for v in set('ab')}\n")
+        assert [finding.rule for finding in findings] == ["DET001"]
+
+    def test_set_union_of_set_named_value_fires(self, lint_source):
+        findings = lint_source(
+            "seen = set('ab')\nout = list(seen.union({'c'}))\n"
+        )
+        assert [finding.rule for finding in findings] == ["DET001"]
+
+    def test_from_import_of_global_random_fires(self, lint_source):
+        findings = lint_source("from random import shuffle\n")
+        assert [finding.rule for finding in findings] == ["DET002"]
+
+    def test_argless_datetime_now_fires(self, lint_source):
+        findings = lint_source(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        )
+        assert [finding.rule for finding in findings] == ["DET002"]
+
+    def test_outside_scope_is_ignored(self, lint_source):
+        findings = lint_source(
+            "import time\nstamp = time.time()\n", path="benchmarks/bench.py"
+        )
+        assert findings == []
+
+    def test_unsorted_rglob_fires_and_sorted_passes(self, lint_source):
+        dirty = lint_source(
+            "import pathlib\n"
+            "for p in pathlib.Path('.').rglob('*.py'):\n    pass\n"
+        )
+        assert [finding.rule for finding in dirty] == ["DET003"]
+        clean = lint_source(
+            "import pathlib\n"
+            "for p in sorted(pathlib.Path('.').rglob('*.py')):\n    pass\n"
+        )
+        assert clean == []

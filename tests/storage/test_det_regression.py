@@ -1,0 +1,42 @@
+"""Regression: the DET001 ``sorted(set(...))`` fixes keep bytes identical.
+
+``MeasurementIndex._build_collector`` and ``AnalysisCodec.raise_`` both
+group collector rows by AS-path member; the DET001 fix made both iterate
+``sorted(set(collapsed))`` so the ``rows_by_member`` insertion order is a
+pure function of the data rather than of set bucket layout.  These tests
+pin the property the fix protects: the freshly built index and the
+disk-decoded index agree exactly, and re-encoding the decoded artifact
+reproduces the original bytes.
+"""
+
+from repro.session.cache import StageCache
+from repro.session.study import Study
+from repro.storage.codecs import codec_for
+from repro.storage.store import DiskStore
+
+
+def _loaded_analysis(tiny_study, tmp_path):
+    """The analysis engine rebuilt from the disk tier (decode path)."""
+    disk = DiskStore(tmp_path)
+    cold = Study(tiny_study.config, cache=StageCache(disk=disk))
+    cold.analysis()
+    warm = Study(tiny_study.config, cache=StageCache(disk=disk))
+    loaded = warm.analysis()
+    assert warm.cache.stats_for("analysis").disk_hits == 1
+    return loaded
+
+
+def test_member_grouping_identical_between_build_and_decode(tiny_study, tmp_path):
+    fresh = tiny_study.analysis()
+    loaded = _loaded_analysis(tiny_study, tmp_path)
+    assert loaded.index.rows_by_member == fresh.index.rows_by_member
+    assert list(loaded.index.rows_by_member) == list(fresh.index.rows_by_member)
+    assert loaded.index.rows_by_prefix == fresh.index.rows_by_prefix
+    assert loaded.index.adjacency == fresh.index.adjacency
+
+
+def test_reencoding_decoded_artifact_is_byte_identical(tiny_study, tmp_path):
+    fresh = tiny_study.analysis()
+    loaded = _loaded_analysis(tiny_study, tmp_path)
+    codec = codec_for("analysis")
+    assert codec.encode(loaded) == codec.encode(fresh)
