@@ -18,6 +18,8 @@ Usage::
     python -m repro fuzz --count 5 --workers 4   # every family, 5 cases each
     python -m repro sweep --family multihoming --count 10 --workers 4
     python -m repro sweep standard large --cache-dir /shared/cache
+    python -m repro sweep ... --retries 3 --case-timeout 300  # chaos hardening
+    python -m repro chaos --seed 7               # fault-injection invariants
     python -m repro cache stats                  # disk-tier artifact counts
     python -m repro cache clear                  # drop the disk tier
     python -m repro lint                         # static analysis over src/ + scripts/
@@ -282,12 +284,87 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore an existing manifest and recompute every case",
     )
     sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts a crashing case gets (exponential backoff) before "
+        "it is quarantined (default: 2; deterministic errors never retry)",
+    )
+    sweep.add_argument(
+        "--case-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock budget; an overrunning attempt is "
+        "abandoned, counted as a failure and retried (pool mode only)",
+    )
+    sweep.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="activate a deterministic fault-injection plan (inline JSON or a "
+        "JSON file; see docs/robustness.md) for this sweep and its workers",
+    )
+    sweep.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
         help="print the structured SweepReport as JSON instead of the summary",
     )
     _add_cache_dir_option(sweep, required=True)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a sweep under a seeded fault-injection plan and assert the "
+        "robustness invariants (termination, resume, report byte-identity)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="drives the case list, the fault schedule and the kill point "
+        "(default: 0)",
+    )
+    chaos.add_argument(
+        "--count",
+        type=int,
+        default=3,
+        help="number of seed-derived cases to sweep (default: 3)",
+    )
+    chaos.add_argument(
+        "-e",
+        "--experiment",
+        action="append",
+        dest="experiments",
+        metavar="ID",
+        help="experiment id each case runs (repeatable; default: table2, table5)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="pool width of the chaotic sweep; >= 2 exercises worker-kill "
+        "recovery (default: 2)",
+    )
+    chaos.add_argument(
+        "--dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="scratch directory (default: a fresh temp dir, removed afterwards)",
+    )
+    chaos.add_argument(
+        "--keep",
+        action="store_true",
+        help="leave the scratch directory behind for inspection",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the structured ChaosReport as JSON instead of the summary",
+    )
 
     cache = commands.add_parser(
         "cache", help="inspect or clear the durable artifact store"
@@ -444,6 +521,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     specs = expand_case_specs(
         args.cases, args.families, count=args.count, seed=args.seed
     )
+    sweep_kwargs = {}
+    if args.retries is not None:
+        sweep_kwargs["retries"] = args.retries
     try:
         report = run_sweep(
             specs,
@@ -452,10 +532,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
             experiments=args.experiments,
             workers=args.workers,
             resume=not args.no_resume,
+            case_timeout=args.case_timeout,
+            fault_plan=args.fault_plan,
+            **sweep_kwargs,
         )
     except SweepInterrupted as interruption:
         print(f"sweep interrupted: {interruption}", file=sys.stderr)
         return 3
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        args.seed,
+        count=args.count,
+        experiments=args.experiments,
+        workers=args.workers,
+        root=args.dir,
+        keep=args.keep,
+    )
     if args.as_json:
         print(report.to_json())
     else:
@@ -474,8 +575,14 @@ def _command_cache(args: argparse.Namespace) -> int:
     # The memory tier is per-process (see StageCache.stats for in-process
     # counters); a standalone CLI invocation can only inspect the disk tier.
     stats = store.stats()
+    health = store.health()
     if args.as_json:
-        print(json.dumps({"cache_dir": str(store.root), "disk": stats}, indent=2))
+        print(
+            json.dumps(
+                {"cache_dir": str(store.root), "disk": stats, "health": health},
+                indent=2,
+            )
+        )
         return 0
     print(f"disk tier under {store.root}/:")
     if not stats:
@@ -485,6 +592,11 @@ def _command_cache(args: argparse.Namespace) -> int:
             f"  {stage:12s} {counters['artifacts']:6d} artifact(s) "
             f"{counters['bytes']:12d} bytes"
         )
+    print(
+        f"  health: degraded={'yes' if health['degraded'] else 'no'} "
+        f"write_failures={health['write_failures']} "
+        f"quarantined={health['quarantined_files']} file(s)"
+    )
     return 0
 
 
@@ -508,6 +620,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_fuzz(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
         if args.command == "cache":
             return _command_cache(args)
         if args.command == "lint":

@@ -1,0 +1,290 @@
+"""Deterministic seeded fault schedules (:class:`FaultPlan`).
+
+A fault plan is a list of :class:`FaultRule`\\ s, each bound to an
+*injection site* (a named hook compiled into the storage and sweep layers)
+plus a firing rate, an identity pattern and an optional firing bound.
+Whether a rule fires for a given operation is a pure function of
+``(plan seed, rule index, site, identity)`` — no clocks, no global random
+state — so the same plan produces the same fault schedule in every process
+and on every machine, and a chaos run can be replayed exactly from its
+seed.
+
+Firing *bounds* (``times``) are the one piece of shared state: a rule that
+should kill a worker once (so the retry succeeds) records its firings as
+marker files under the plan's ``state_dir``.  Markers are created with
+``O_EXCL``, so concurrent workers race safely, and they survive process
+death — which is exactly what makes "kill this case once, then let the
+resume complete it" expressible.
+
+Plans serialize to JSON and travel to process-pool workers through the
+``REPRO_FAULT_PLAN`` environment variable (see
+:mod:`repro.faults.runtime`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from repro.exceptions import ReproError
+
+#: Injection sites compiled into the storage/sweep layers.
+SITES = (
+    "worker-kill",  # die (or raise, in-process) at the start of a sweep case
+    "store-write",  # raise an OSError (ENOSPC/EIO) from DiskStore.write
+    "store-corrupt",  # damage the artifact file just written by DiskStore
+    "latency",  # sleep before a DiskStore read/write
+)
+
+#: Corruption modes of ``store-corrupt`` rules.
+CORRUPT_MODES = ("flip", "truncate", "zero")
+
+#: Errno names accepted as the ``param`` of ``store-write`` rules.
+WRITE_ERRNOS = ("ENOSPC", "EIO")
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (bad site, rate, mode or JSON)."""
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired in-process (e.g. a simulated worker kill).
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: the sweep
+    orchestrator treats ``ReproError`` as a deterministic configuration
+    problem (never retried) and everything else as possibly-transient
+    infrastructure failure (retried with backoff) — injected faults must
+    land in the second bucket.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: where it strikes, how often, and how many times.
+
+    Attributes:
+        site: injection-site name (one of :data:`SITES`).
+        rate: firing probability in ``[0, 1]``; the decision is a pure hash
+            of ``(seed, rule index, site, identity)``, so the *same*
+            identity always draws the same verdict under the same plan.
+        match: ``fnmatch`` pattern over the operation identity (sweep case
+            spec, or ``stage/key`` for store operations).
+        times: maximum total firings across all processes (``None`` means
+            unbounded); enforced through marker files in the plan's state
+            directory.
+        param: site-specific parameter — an errno name for ``store-write``
+            (:data:`WRITE_ERRNOS`), a corruption mode for ``store-corrupt``
+            (:data:`CORRUPT_MODES`), seconds of sleep for ``latency``.
+    """
+
+    site: str
+    rate: float
+    match: str = "*"
+    times: int | None = 1
+    param: str | float | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`FaultPlanError` on an out-of-range field."""
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; known sites: {', '.join(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError(f"fault times must be >= 1 or None, got {self.times!r}")
+        if self.site == "store-corrupt" and self.param not in CORRUPT_MODES:
+            raise FaultPlanError(
+                f"store-corrupt param must be one of {CORRUPT_MODES}, got {self.param!r}"
+            )
+        if self.site == "store-write" and self.param not in WRITE_ERRNOS:
+            raise FaultPlanError(
+                f"store-write param must be one of {WRITE_ERRNOS}, got {self.param!r}"
+            )
+        if self.site == "latency" and (
+            not isinstance(self.param, (int, float)) or self.param < 0
+        ):
+            raise FaultPlanError(f"latency param must be seconds >= 0, got {self.param!r}")
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping with a stable key order."""
+        return {
+            "site": self.site,
+            "rate": self.rate,
+            "match": self.match,
+            "times": self.times,
+            "param": self.param,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic, cross-process fault schedule.
+
+    Attributes:
+        seed: the schedule seed; every firing decision hashes it.
+        state_dir: directory holding the firing markers of bounded rules
+            (created on demand; shared by every process running the plan).
+        rules: the fault rules, checked in order (first match that both
+            draws a firing and claims a marker wins).
+    """
+
+    seed: int
+    state_dir: str
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        """Raise :class:`FaultPlanError` if any rule is malformed."""
+        for rule in self.rules:
+            rule.validate()
+
+    # -- firing decisions ------------------------------------------------------
+
+    def fires(self, site: str, identity: str) -> FaultRule | None:
+        """The rule that fires for this operation, or ``None``.
+
+        Args:
+            site: the injection-site name of the operation.
+            identity: the operation's stable identity (case spec or
+                ``stage/key``); the decision hashes it, so the same
+                operation always draws the same verdict.
+
+        Returns:
+            The first matching rule that both draws a firing and (for
+            bounded rules) successfully claims a marker slot.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or not fnmatch(identity, rule.match):
+                continue
+            if not self._draws(index, rule, identity):
+                continue
+            if self._claim(index, rule, identity):
+                return rule
+        return None
+
+    def _draws(self, index: int, rule: FaultRule, identity: str) -> bool:
+        """The pure hash decision: does this rule target this identity?"""
+        digest = hashlib.sha256(
+            f"{self.seed}:{index}:{rule.site}:{identity}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < rule.rate
+
+    def _claim(self, index: int, rule: FaultRule, identity: str) -> bool:
+        """Claim one firing slot of a bounded rule (``O_EXCL`` markers)."""
+        if rule.times is None:
+            return True
+        stem = hashlib.sha256(f"{index}:{identity}".encode("utf-8")).hexdigest()[:24]
+        root = pathlib.Path(self.state_dir)
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False  # no state dir, no bounded firing
+        for slot in range(rule.times):
+            try:
+                fd = os.open(root / f"{stem}.{slot}", os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False
+            os.close(fd)
+            return True
+        return False  # every slot already fired
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping with a stable key order."""
+        return {
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        """Compact deterministic JSON, small enough for an env var."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: object) -> FaultPlan:
+        """Rebuild a validated plan from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        try:
+            rules = tuple(
+                FaultRule(
+                    site=entry["site"],
+                    rate=entry["rate"],
+                    match=entry.get("match", "*"),
+                    times=entry.get("times", 1),
+                    param=entry.get("param"),
+                )
+                for entry in data.get("rules", [])
+            )
+            plan = cls(seed=int(data["seed"]), state_dir=str(data["state_dir"]), rules=rules)
+        except (KeyError, TypeError, ValueError) as error:
+            raise FaultPlanError(f"malformed fault plan: {error}") from error
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        """Parse a plan from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, source: str) -> FaultPlan:
+        """Parse a plan from inline JSON or a JSON file path.
+
+        This is the decoder of both the ``--fault-plan`` CLI flag and the
+        ``REPRO_FAULT_PLAN`` environment variable: a value starting with
+        ``{`` is inline JSON, anything else is a file path.
+        """
+        text = source.strip()
+        if text.startswith("{"):
+            return cls.from_json(text)
+        try:
+            return cls.from_json(pathlib.Path(source).read_text())
+        except OSError as error:
+            raise FaultPlanError(f"cannot read fault plan file {source!r}: {error}") from error
+
+    # -- seeded generation -----------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed: int, state_dir: str | os.PathLike) -> FaultPlan:
+        """A mixed chaos schedule derived entirely from ``seed``.
+
+        The generated plan covers every fault class the robustness layer
+        defends against — worker kills, write errors, artifact corruption
+        and latency — with rates and parameters drawn from a seeded
+        :class:`random.Random`, each destructive rule bounded so that a
+        bounded-retry sweep can still terminate with every case completed.
+        """
+        import random
+
+        rng = random.Random(seed)
+        rules = (
+            FaultRule("worker-kill", rate=0.3 + 0.3 * rng.random(), times=1),
+            FaultRule(
+                "store-write",
+                rate=0.1 + 0.2 * rng.random(),
+                times=2,
+                param=rng.choice(list(WRITE_ERRNOS)),
+            ),
+            FaultRule(
+                "store-corrupt",
+                rate=0.1 + 0.2 * rng.random(),
+                times=1,
+                param=rng.choice(list(CORRUPT_MODES)),
+            ),
+            FaultRule("latency", rate=0.2, times=16, param=round(0.001 + 0.004 * rng.random(), 4)),
+        )
+        return cls(seed=seed, state_dir=str(state_dir), rules=rules)

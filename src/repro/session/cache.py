@@ -215,6 +215,16 @@ class StageCache:
         """Every stage's counters as a JSON-ready nested mapping."""
         return {stage: stats.as_dict() for stage, stats in self.stats.items()}
 
+    def disk_health(self) -> dict | None:
+        """The disk tier's degradation/quarantine counters, or ``None``.
+
+        Delegates to :meth:`repro.storage.store.DiskStore.health`; a
+        memory-only cache reports ``None``.  Sweep workers attach this to
+        their per-case stats so a degraded disk tier is visible in the
+        sweep report instead of silently turning the warm path cold.
+        """
+        return self.disk.health() if self.disk is not None else None
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop every completed artifact and reset the counters.
 

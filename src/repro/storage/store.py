@@ -16,6 +16,21 @@ release and the machine byte order; :meth:`DiskStore.read` returns ``None``
 codec.  Writes go through a temporary file in the same directory followed
 by :func:`os.replace`, so concurrent writers are safe and a killed process
 never leaves a half-written artifact behind.
+
+Failure handling (see ``docs/robustness.md``):
+
+* **Quarantine** — a file that exists but fails validation is *moved* to
+  ``<root>/quarantine/<stage>/`` before the miss is returned.  Artifacts
+  are content-addressed, so an invalid file can never become valid again;
+  quarantining rules out repeated decode attempts and preserves the bytes
+  for inspection.
+* **Degradation** — :data:`DEGRADE_AFTER` consecutive write failures trip
+  the store into memory-only mode: further writes are silently skipped
+  (``write`` returns ``None``) instead of raising, and the ``degraded``
+  flag plus failure counters are reported by :meth:`DiskStore.health` and
+  ``python -m repro cache stats``.
+* **Race tolerance** — :meth:`stats` and :meth:`clear` skip files that a
+  concurrent writer or ``clear`` removed mid-walk instead of raising.
 """
 
 from __future__ import annotations
@@ -25,6 +40,7 @@ import pathlib
 import sys
 import tempfile
 
+from repro.faults.runtime import corrupt_artifact, fault_point
 from repro.storage.packing import pack, unpack
 from repro.storage.versions import CODEC_VERSIONS, SCHEMA_VERSION
 
@@ -34,6 +50,16 @@ _MAGIC = "repro-artifact"
 #: File suffix of stored artifacts.
 _SUFFIX = ".art"
 
+#: Subdirectory (next to the stage directories) holding quarantined files.
+QUARANTINE_DIR = "quarantine"
+
+#: Consecutive write failures after which the store degrades to
+#: memory-only operation (stops attempting disk writes).
+DEGRADE_AFTER = 3
+
+#: Directories under the root that are not content-addressed stage tiers.
+_NON_STAGE_DIRS = frozenset({"sweeps", QUARANTINE_DIR})
+
 
 class DiskStore:
     """The content-addressed disk tier shared across processes.
@@ -41,11 +67,24 @@ class DiskStore:
     Args:
         root: directory the store lives under (created lazily on first
             write; reads from a missing root are plain misses).
+        degrade_after: consecutive write failures that trip the store into
+            memory-only mode (default :data:`DEGRADE_AFTER`).
+
+    Attributes:
+        degraded: ``True`` once persistent write errors disabled the disk
+            tier for this store instance; writes become silent no-ops.
+        write_failures: total failed write attempts of this instance.
+        quarantined_reads: invalid files this instance moved to quarantine.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, *, degrade_after: int = DEGRADE_AFTER) -> None:
         """Bind the store to its root directory (not created yet)."""
         self.root = pathlib.Path(root)
+        self.degrade_after = degrade_after
+        self.degraded = False
+        self.write_failures = 0
+        self.quarantined_reads = 0
+        self._consecutive_write_failures = 0
 
     # -- addressing ------------------------------------------------------------
 
@@ -66,9 +105,12 @@ class DiskStore:
             The codec payload bytes, or ``None`` when the file is missing,
             unreadable, corrupt, or written under a different schema/codec
             version, ``repro`` release or byte order — every mismatch is a
-            miss, never an error, so callers simply rebuild.
+            miss, never an error, so callers simply rebuild.  Invalid files
+            are moved to ``<root>/quarantine/<stage>/`` so they are decoded
+            at most once.
         """
         path = self.path_for(stage, key)
+        fault_point("latency", f"{stage}/{key}")
         try:
             data = path.read_bytes()
         except OSError:
@@ -80,15 +122,18 @@ class DiskStore:
             # UTF-8 in a string node, a bad array typecode, a frombytes
             # length mismatch); the read contract is "corruption is a
             # miss", so any decode failure falls back to the builder.
+            self._quarantine(stage, path)
             return None
         if not (isinstance(tree, tuple) and len(tree) == 2):
+            self._quarantine(stage, path)
             return None
         header, payload = tree
         if header != self._header(stage) or not isinstance(payload, bytes):
+            self._quarantine(stage, path)
             return None
         return payload
 
-    def write(self, stage: str, key: str, payload: bytes) -> pathlib.Path:
+    def write(self, stage: str, key: str, payload: bytes) -> pathlib.Path | None:
         """Atomically persist one artifact payload.
 
         Args:
@@ -97,29 +142,68 @@ class DiskStore:
             payload: the codec-encoded bytes.
 
         Returns:
-            The final file path.
+            The final file path, or ``None`` when the store is degraded
+            (persistent write errors already disabled the disk tier).
 
         Raises:
             OSError: if the filesystem rejects the write (callers treat the
-                disk tier as best-effort and may swallow this).
+                disk tier as best-effort and may swallow this); after
+                ``degrade_after`` consecutive failures the store degrades
+                and stops raising — later writes are skipped.
         """
+        if self.degraded:
+            return None
         path = self.path_for(stage, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        identity = f"{stage}/{key}"
         data = pack((self._header(stage), payload))
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{key}.", suffix=".tmp", dir=path.parent
-        )
+        try:
+            fault_point("latency", identity)
+            fault_point("store-write", identity)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key}.", suffix=".tmp", dir=path.parent
+            )
+        except OSError:
+            self._note_write_failure()
+            raise
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(error, OSError):
+                self._note_write_failure()
             raise
+        self._consecutive_write_failures = 0
+        corrupt_artifact(path, identity)
         return path
+
+    def _note_write_failure(self) -> None:
+        """Count one failed write; trip degraded mode when persistent."""
+        self.write_failures += 1
+        self._consecutive_write_failures += 1
+        if self._consecutive_write_failures >= self.degrade_after:
+            self.degraded = True
+
+    def _quarantine(self, stage: str, path: pathlib.Path) -> None:
+        """Move an invalid artifact file aside so it is never re-decoded.
+
+        Content addressing guarantees the file can never become valid for
+        its key, so the move both rules out repeated decode attempts and
+        keeps the bytes around for post-mortem inspection.  Failure to
+        move (e.g. a read-only filesystem) still leaves the read a miss.
+        """
+        target = self.root / QUARANTINE_DIR / stage / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined_reads += 1
 
     def _header(self, stage: str) -> tuple:
         """The expected file header of one stage's artifacts."""
@@ -136,24 +220,61 @@ class DiskStore:
 
     # -- maintenance -----------------------------------------------------------
 
+    def _artifact_files(self, stage_dir: pathlib.Path) -> list[pathlib.Path]:
+        """The stage's artifact files, tolerating concurrent deletion."""
+        try:
+            return sorted(stage_dir.rglob(f"*{_SUFFIX}"))
+        except OSError:
+            return []
+
+    def health(self) -> dict:
+        """Degradation and quarantine counters of the disk tier.
+
+        Returns:
+            ``degraded``/``write_failures``/``quarantined_reads`` reflect
+            this store instance (in-process); ``quarantined_files`` counts
+            the files currently under ``<root>/quarantine/`` on disk, so it
+            is visible across processes (e.g. to ``repro cache stats``).
+        """
+        quarantine_root = self.root / QUARANTINE_DIR
+        quarantined_files = 0
+        if quarantine_root.is_dir():
+            quarantined_files = len(self._artifact_files(quarantine_root))
+        return {
+            "degraded": self.degraded,
+            "write_failures": self.write_failures,
+            "quarantined_reads": self.quarantined_reads,
+            "quarantined_files": quarantined_files,
+        }
+
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-stage artifact counts and byte totals of the disk tier.
 
         Returns:
             Mapping ``stage -> {"artifacts": n, "bytes": total}`` for every
             stage directory present under the root, sorted by stage name.
+            Files removed by a concurrent writer or ``clear`` mid-walk are
+            skipped, never an error.
         """
         result: dict[str, dict[str, int]] = {}
         if not self.root.is_dir():
             return result
-        for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir() or stage_dir.name == "sweeps":
+        try:
+            stage_dirs = sorted(self.root.iterdir())
+        except OSError:
+            return result
+        for stage_dir in stage_dirs:
+            if not stage_dir.is_dir() or stage_dir.name in _NON_STAGE_DIRS:
                 continue
             count = 0
             total = 0
-            for path in sorted(stage_dir.rglob(f"*{_SUFFIX}")):
+            for path in self._artifact_files(stage_dir):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue  # vanished mid-walk (concurrent clear/replace)
                 count += 1
-                total += path.stat().st_size
+                total += size
             result[stage_dir.name] = {"artifacts": count, "bytes": total}
         return result
 
@@ -161,7 +282,9 @@ class DiskStore:
         """Delete every stored artifact file.
 
         Sweep manifests and case reports under ``<root>/sweeps`` are left
-        alone — only the content-addressed tier is dropped.
+        alone, as are quarantined files under ``<root>/quarantine`` — only
+        the content-addressed tier is dropped.  Files already removed by a
+        concurrent ``clear`` are skipped.
 
         Returns:
             The number of artifact files removed.
@@ -169,10 +292,14 @@ class DiskStore:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for stage_dir in sorted(self.root.iterdir()):
-            if not stage_dir.is_dir() or stage_dir.name == "sweeps":
+        try:
+            stage_dirs = sorted(self.root.iterdir())
+        except OSError:
+            return removed
+        for stage_dir in stage_dirs:
+            if not stage_dir.is_dir() or stage_dir.name in _NON_STAGE_DIRS:
                 continue
-            for path in sorted(stage_dir.rglob(f"*{_SUFFIX}")):
+            for path in self._artifact_files(stage_dir):
                 try:
                     path.unlink()
                     removed += 1

@@ -1,0 +1,68 @@
+"""Tests of the chaos harness (``python -m repro chaos``)."""
+
+import json
+
+from repro.faults.chaos import ChaosCheck, ChaosReport, default_specs, run_chaos
+
+
+class TestDefaultSpecs:
+    def test_seed_derives_the_case_list(self):
+        assert default_specs(5, count=3) == [
+            "collector-size@5",
+            "collector-size@6",
+            "multihoming@5",
+        ]
+
+    def test_minimum_two_cases(self):
+        assert len(default_specs(0, count=1)) == 2
+
+
+class TestChaosReport:
+    def test_ok_requires_every_check(self):
+        report = ChaosReport(seed=1, specs=["a"])
+        report.checks.append(ChaosCheck("one", True, "fine"))
+        assert report.ok
+        report.checks.append(ChaosCheck("two", False, "broken"))
+        assert not report.ok
+
+    def test_json_schema(self):
+        report = ChaosReport(seed=1, specs=["a"])
+        report.checks.append(ChaosCheck("one", True, "fine"))
+        payload = json.loads(report.to_json())
+        assert list(payload) == ["seed", "specs", "ok", "checks"]
+        assert payload["checks"][0] == {"name": "one", "ok": True, "detail": "fine"}
+
+    def test_render_names_the_verdict(self):
+        report = ChaosReport(seed=7, specs=["a"])
+        report.checks.append(ChaosCheck("one", False, "broken"))
+        rendered = report.render()
+        assert "FAIL" in rendered
+        assert "INVARIANT VIOLATED" in rendered
+
+
+class TestRunChaos:
+    def test_all_invariants_hold_for_a_small_seed(self, tmp_path):
+        # The full harness on its smallest footing: two cases, one
+        # experiment, all five invariant checks.
+        report = run_chaos(
+            0,
+            count=2,
+            experiments=["table2"],
+            workers=2,
+            root=tmp_path / "scratch",
+        )
+        assert report.ok, report.render()
+        names = [check.name for check in report.checks]
+        assert names == [
+            "baseline",
+            "chaos-sweep",
+            "kill-point",
+            "resume",
+            "degradation",
+            "warm-reread",
+        ]
+
+    def test_scratch_root_is_kept_when_given(self, tmp_path):
+        scratch = tmp_path / "scratch"
+        run_chaos(1, count=2, experiments=["table2"], root=scratch)
+        assert (scratch / "baseline").is_dir()

@@ -1,0 +1,211 @@
+"""Tests of the deterministic seeded fault schedules."""
+
+import pytest
+
+from repro.faults.plan import (
+    CORRUPT_MODES,
+    WRITE_ERRNOS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
+
+
+class TestRuleValidation:
+    def test_valid_rules_pass(self):
+        FaultRule("worker-kill", rate=0.5).validate()
+        FaultRule("store-write", rate=1.0, param="ENOSPC").validate()
+        FaultRule("store-corrupt", rate=0.1, param="flip").validate()
+        FaultRule("latency", rate=0.2, times=None, param=0.01).validate()
+
+    def test_unknown_site(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultRule("disk-on-fire", rate=0.5).validate()
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultRule("worker-kill", rate=1.5).validate()
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultRule("worker-kill", rate=-0.1).validate()
+
+    def test_times_must_be_positive_or_none(self):
+        with pytest.raises(FaultPlanError, match="times"):
+            FaultRule("worker-kill", rate=0.5, times=0).validate()
+
+    def test_corrupt_param_must_be_a_mode(self):
+        with pytest.raises(FaultPlanError, match="store-corrupt"):
+            FaultRule("store-corrupt", rate=0.5, param="scribble").validate()
+
+    def test_write_param_must_be_an_errno(self):
+        with pytest.raises(FaultPlanError, match="store-write"):
+            FaultRule("store-write", rate=0.5, param="EPIPE").validate()
+
+    def test_latency_param_must_be_seconds(self):
+        with pytest.raises(FaultPlanError, match="latency"):
+            FaultRule("latency", rate=0.5, param="fast").validate()
+        with pytest.raises(FaultPlanError, match="latency"):
+            FaultRule("latency", rate=0.5, param=-1.0).validate()
+
+
+class TestFiringDecisions:
+    def plan(self, tmp_path, *rules) -> FaultPlan:
+        return FaultPlan(seed=7, state_dir=str(tmp_path / "state"), rules=rules)
+
+    def test_rate_one_always_draws(self, tmp_path):
+        plan = self.plan(
+            tmp_path, FaultRule("latency", rate=1.0, times=None, param=0.0)
+        )
+        assert plan.fires("latency", "topology/abc") is not None
+
+    def test_rate_zero_never_draws(self, tmp_path):
+        plan = self.plan(tmp_path, FaultRule("latency", rate=0.0, param=0.0))
+        assert all(
+            plan.fires("latency", f"topology/{n}") is None for n in range(50)
+        )
+
+    def test_decision_is_deterministic_across_instances(self, tmp_path):
+        # The draw is a pure hash of (seed, index, site, identity): two plan
+        # objects (think: two worker processes) agree on every verdict.
+        rule = FaultRule("worker-kill", rate=0.5, times=None)
+        one = self.plan(tmp_path, rule)
+        two = FaultPlan(seed=7, state_dir=str(tmp_path / "state"), rules=(rule,))
+        identities = [f"case@{n}" for n in range(64)]
+        verdicts = [one.fires("worker-kill", i) is not None for i in identities]
+        assert verdicts == [
+            two.fires("worker-kill", i) is not None for i in identities
+        ]
+        assert any(verdicts) and not all(verdicts)  # rate 0.5 splits the draw
+
+    def test_seed_changes_the_schedule(self, tmp_path):
+        rule = FaultRule("worker-kill", rate=0.5, times=None)
+        one = FaultPlan(seed=1, state_dir=str(tmp_path / "a"), rules=(rule,))
+        two = FaultPlan(seed=2, state_dir=str(tmp_path / "b"), rules=(rule,))
+        identities = [f"case@{n}" for n in range(64)]
+        assert [one.fires("worker-kill", i) is not None for i in identities] != [
+            two.fires("worker-kill", i) is not None for i in identities
+        ]
+
+    def test_match_pattern_filters_identities(self, tmp_path):
+        plan = self.plan(
+            tmp_path,
+            FaultRule("latency", rate=1.0, match="topology/*", times=None, param=0.0),
+        )
+        assert plan.fires("latency", "topology/abc") is not None
+        assert plan.fires("latency", "policies/abc") is None
+
+    def test_times_bounds_firings_across_instances(self, tmp_path):
+        # Marker files in the shared state_dir make the bound global: a
+        # second plan instance (another process) sees the budget as spent.
+        rule = FaultRule("worker-kill", rate=1.0, times=2, match="case@1")
+        one = self.plan(tmp_path, rule)
+        assert one.fires("worker-kill", "case@1") is not None
+        two = FaultPlan(seed=7, state_dir=str(tmp_path / "state"), rules=(rule,))
+        assert two.fires("worker-kill", "case@1") is not None
+        assert one.fires("worker-kill", "case@1") is None
+        assert two.fires("worker-kill", "case@1") is None
+
+    def test_times_budget_is_per_identity(self, tmp_path):
+        plan = self.plan(tmp_path, FaultRule("worker-kill", rate=1.0, times=1))
+        assert plan.fires("worker-kill", "case@1") is not None
+        assert plan.fires("worker-kill", "case@2") is not None
+        assert plan.fires("worker-kill", "case@1") is None
+
+    def test_unbounded_rule_always_fires(self, tmp_path):
+        plan = self.plan(
+            tmp_path, FaultRule("store-write", rate=1.0, times=None, param="ENOSPC")
+        )
+        assert all(
+            plan.fires("store-write", "topology/k") is not None for _ in range(10)
+        )
+
+    def test_first_matching_rule_wins(self, tmp_path):
+        plan = self.plan(
+            tmp_path,
+            FaultRule("latency", rate=1.0, match="topology/*", times=None, param=1.0),
+            FaultRule("latency", rate=1.0, times=None, param=2.0),
+        )
+        assert plan.fires("latency", "topology/k").param == 1.0
+        assert plan.fires("latency", "policies/k").param == 2.0
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            state_dir=str(tmp_path / "state"),
+            rules=(
+                FaultRule("worker-kill", rate=0.5, match="collector-*"),
+                FaultRule("store-write", rate=0.2, times=None, param="EIO"),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_load_inline_json(self, tmp_path):
+        plan = FaultPlan(seed=3, state_dir=str(tmp_path), rules=())
+        assert FaultPlan.load(plan.to_json()) == plan
+
+    def test_load_file_path(self, tmp_path):
+        plan = FaultPlan(
+            seed=3,
+            state_dir=str(tmp_path / "state"),
+            rules=(FaultRule("latency", rate=0.1, param=0.01),),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read fault plan file"):
+            FaultPlan.load(str(tmp_path / "nope.json"))
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_from_dict_validates_rules(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict(
+                {
+                    "seed": 1,
+                    "state_dir": str(tmp_path),
+                    "rules": [{"site": "store-corrupt", "rate": 0.5, "param": "bad"}],
+                }
+            )
+
+    def test_from_dict_rejects_non_objects(self):
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            FaultPlan.from_dict([1, 2, 3])
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self, tmp_path):
+        assert FaultPlan.generate(5, tmp_path / "s") == FaultPlan.generate(
+            5, tmp_path / "s"
+        )
+
+    def test_different_seeds_differ(self, tmp_path):
+        assert FaultPlan.generate(5, tmp_path / "s").rules != FaultPlan.generate(
+            6, tmp_path / "s"
+        ).rules
+
+    def test_generated_plans_validate(self, tmp_path):
+        for seed in range(20):
+            plan = FaultPlan.generate(seed, tmp_path / "s")
+            plan.validate()
+            sites = {rule.site for rule in plan.rules}
+            assert sites == {"worker-kill", "store-write", "store-corrupt", "latency"}
+
+    def test_generated_params_stay_in_vocabulary(self, tmp_path):
+        for seed in range(20):
+            for rule in FaultPlan.generate(seed, tmp_path / "s").rules:
+                if rule.site == "store-write":
+                    assert rule.param in WRITE_ERRNOS
+                if rule.site == "store-corrupt":
+                    assert rule.param in CORRUPT_MODES
+
+    def test_destructive_rules_are_bounded(self, tmp_path):
+        # An unbounded kill/corrupt rule would make the chaos invariant
+        # ("every case completes within the retry budget") unsatisfiable.
+        for seed in range(20):
+            for rule in FaultPlan.generate(seed, tmp_path / "s").rules:
+                assert rule.times is not None

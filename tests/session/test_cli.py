@@ -259,6 +259,87 @@ class TestSweepCommand:
         assert "interrupted" in capsys.readouterr().err
 
 
+class TestSweepRobustnessFlags:
+    def test_fault_plan_file_with_retries(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "seed": 0,
+                    "state_dir": str(tmp_path / "fault-state"),
+                    "rules": [{"site": "worker-kill", "rate": 1.0, "times": 1}],
+                }
+            )
+        )
+        report = json.loads(
+            run_cli(
+                capsys, "sweep", "collector-size@0", "-e", "table2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--fault-plan", str(plan_path), "--retries", "2", "--json",
+            )
+        )
+        assert report["ok"]
+        (case,) = report["cases"]
+        assert case["attempts"] == 2  # killed once, completed on the retry
+
+    def test_quarantined_cases_fail_the_exit_code(self, capsys, tmp_path):
+        plan = (
+            '{"seed": 0, "state_dir": "%s", '
+            '"rules": [{"site": "worker-kill", "rate": 1.0, "times": null}]}'
+            % (tmp_path / "fault-state")
+        )
+        code = cli_main(
+            [
+                "sweep", "collector-size@0", "-e", "table2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--fault-plan", plan, "--retries", "1", "--json",
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["quarantined"] == 1
+
+    def test_malformed_fault_plan_fails_cleanly(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "sweep", "collector-size@0", "-e", "table2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--fault-plan", '{"seed": 0}',
+            ]
+        )
+        assert code == 2
+        assert "fault plan" in capsys.readouterr().err
+
+    def test_cache_stats_include_health(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(
+            capsys, "sweep", "collector-size@0", "-e", "table2",
+            "--cache-dir", cache_dir,
+        )
+        out = run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert "health: degraded=no" in out
+        payload = json.loads(
+            run_cli(capsys, "cache", "stats", "--cache-dir", cache_dir, "--json")
+        )
+        assert payload["health"]["degraded"] is False
+        assert payload["health"]["quarantined_files"] == 0
+
+
+class TestChaosCommand:
+    def test_chaos_smoke(self, capsys, tmp_path):
+        # The smallest full harness run: two cases, one experiment.
+        out = run_cli(
+            capsys, "chaos", "--seed", "0", "--count", "2", "-e", "table2",
+            "--dir", str(tmp_path / "scratch"), "--json",
+        )
+        report = json.loads(out)
+        assert report["ok"]
+        assert {check["name"] for check in report["checks"]} == {
+            "baseline", "chaos-sweep", "kill-point", "resume",
+            "degradation", "warm-reread",
+        }
+
+
 class TestLegacyShim:
     def test_list_flag(self, capsys):
         assert legacy_main(["--list"]) == 0
