@@ -177,10 +177,25 @@ class AnalysisEngine:
         with self._lock:
             graph = self._inferred_graph
         if graph is None:
+            from collections import Counter
+
             from repro.relationships.gao import GaoInference
 
-            paths = [self.index.paths[i] for i in self.index.col_path]
-            graph = GaoInference().infer(paths).graph
+            # Columnar fast path: the index interns paths, so the table is a
+            # column of path ids.  Feed each distinct collapsed path once with
+            # its row multiplicity — Gao's votes are linear in multiplicity
+            # and its degrees/adjacency are set-valued, so this is exactly the
+            # per-row inference without the per-row re-collapse.
+            idx = self.index
+            multiplicity = Counter(idx.col_path)
+            graph = (
+                GaoInference()
+                .infer_weighted(
+                    (idx.collapsed[pid], count)
+                    for pid, count in multiplicity.items()
+                )
+                .graph
+            )
             with self._lock:
                 self._inferred_graph = graph
         return graph

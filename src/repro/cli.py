@@ -300,6 +300,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "abandoned, counted as a failure and retried (pool mode only)",
     )
     sweep.add_argument(
+        "--propagation-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="per-case prefix-propagation fan-out width (fast engine, "
+        "zero-copy shard pool; the compiled topology is shared through the "
+        "store, and the result is identical for every width; default: 1)",
+    )
+    sweep.add_argument(
         "--fault-plan",
         default=None,
         metavar="PLAN",
@@ -534,6 +543,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             resume=not args.no_resume,
             case_timeout=args.case_timeout,
             fault_plan=args.fault_plan,
+            propagation_workers=args.propagation_workers,
             **sweep_kwargs,
         )
     except SweepInterrupted as interruption:

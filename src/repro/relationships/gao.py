@@ -90,11 +90,26 @@ class GaoInference:
         prepending is collapsed before processing.  Paths with fewer than two
         distinct ASes contribute nothing.
         """
-        normalised = self._normalise(paths)
-        if not normalised:
+        return self.infer_weighted((path, 1) for path in paths)
+
+    def infer_weighted(
+        self, weighted_paths: Iterable[tuple[ASPath | Iterable[ASN], int]]
+    ) -> InferredRelationships:
+        """Run the inference over ``(path, multiplicity)`` pairs.
+
+        Every phase of the algorithm is either set-valued (degrees,
+        adjacency) or linear in path multiplicity (transit/ambiguous votes),
+        so feeding each *distinct* path once with its occurrence count yields
+        exactly the result of :meth:`infer` over the expanded collection —
+        while doing the per-path top-provider scan only once per distinct
+        path.  Callers holding columnar routing tables (interned path ids)
+        should prefer this entry point.
+        """
+        counts = self._normalise(weighted_paths)
+        if not counts:
             raise InferenceError("no usable AS paths supplied")
-        degrees = self._compute_degrees(normalised)
-        transit_votes, ambiguous_votes, adjacency = self._vote(normalised, degrees)
+        degrees = self._compute_degrees(counts)
+        transit_votes, ambiguous_votes, adjacency = self._vote(counts, degrees)
         graph = self._classify(degrees, transit_votes, ambiguous_votes, adjacency)
         return InferredRelationships(
             graph=graph,
@@ -106,17 +121,21 @@ class GaoInference:
     # -- phases ----------------------------------------------------------------
 
     @staticmethod
-    def _normalise(paths: Iterable[ASPath | Iterable[ASN]]) -> list[tuple[ASN, ...]]:
-        normalised: list[tuple[ASN, ...]] = []
-        for path in paths:
+    def _normalise(
+        weighted_paths: Iterable[tuple[ASPath | Iterable[ASN], int]],
+    ) -> Counter:
+        counts: Counter = Counter()
+        for path, weight in weighted_paths:
+            if weight <= 0:
+                continue
             as_path = path if isinstance(path, ASPath) else ASPath(path)
             collapsed = as_path.deduplicate().asns
             if len(collapsed) >= 2:
-                normalised.append(collapsed)
-        return normalised
+                counts[collapsed] += weight
+        return counts
 
     @staticmethod
-    def _compute_degrees(paths: list[tuple[ASN, ...]]) -> dict[ASN, int]:
+    def _compute_degrees(paths: Iterable[tuple[ASN, ...]]) -> dict[ASN, int]:
         neighbors: dict[ASN, set[ASN]] = {}
         for path in paths:
             for left, right in zip(path, path[1:]):
@@ -125,12 +144,12 @@ class GaoInference:
         return {asn: len(adjacent) for asn, adjacent in neighbors.items()}
 
     def _vote(
-        self, paths: list[tuple[ASN, ...]], degrees: dict[ASN, int]
+        self, counts: Counter, degrees: dict[ASN, int]
     ) -> tuple[Counter, Counter, set[frozenset[ASN]]]:
         transit_votes: Counter = Counter()
         ambiguous_votes: Counter = Counter()
         adjacency: set[frozenset[ASN]] = set()
-        for path in paths:
+        for path, weight in counts.items():
             top_index = max(range(len(path)), key=lambda i: degrees[path[i]])
             for index, (left, right) in enumerate(zip(path, path[1:])):
                 adjacency.add(frozenset((left, right)))
@@ -140,9 +159,9 @@ class GaoInference:
                 else:
                     provider, customer = left, right
                 if index == top_index - 1 or index == top_index:
-                    ambiguous_votes[(provider, customer)] += 1
+                    ambiguous_votes[(provider, customer)] += weight
                 else:
-                    transit_votes[(provider, customer)] += 1
+                    transit_votes[(provider, customer)] += weight
         return transit_votes, ambiguous_votes, adjacency
 
     def _classify(

@@ -108,7 +108,13 @@ class PropagationSettings:
         engine: ``"fast"`` (the compiled-topology engine, the default) or
             ``"legacy"`` (the original message-object engine).
         workers: per-prefix fan-out width of the fast engine; ``1`` runs
-            in-process, ``N > 1`` shards prefixes over a process pool.
+            in-process, ``N > 1`` cuts the originated prefixes into
+            contiguous shards over a process pool on the zero-copy path:
+            the compiled topology lives in a shared-memory segment (or an
+            mmap'ed ``compiled-topology`` store artifact) that workers
+            attach by name — no per-task pickling — and shard results merge
+            deterministically in task order, so the artifact is
+            byte-identical for every worker count.
     """
 
     engine: str = "fast"

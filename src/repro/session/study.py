@@ -233,12 +233,62 @@ class Study:
             assignment=assignment,
         )
 
+    def _compiled_topology_key(self) -> str:
+        """Content address of the compiled-topology tier.
+
+        Keyed by the policies stage (compilation depends only on topology,
+        policies and the observation plan) so every sweep case sharing those
+        upstream stages attaches the same artifact — worker count and engine
+        choice never enter the key.
+        """
+        from repro.simulation.fastpath import shm
+
+        return fingerprint(shm.STAGE, self.stage_key(Stage.POLICIES))
+
+    def _compiled_topology(self, plan: PolicyStageArtifact):
+        """A compiled topology for the fast engine, store-backed when possible.
+
+        With a disk tier attached, the lowered topology is cached as a
+        ``compiled-topology`` artifact: on a hit the artifact file is
+        mmap'ed and a zero-copy :class:`SharedTopologyView` is returned —
+        pool workers then re-attach the same file by path (sharing OS page
+        cache) instead of the parent publishing a fresh shared-memory
+        segment.  Without a disk tier the topology is compiled in-process.
+        """
+        from repro.simulation.fastpath import shm
+
+        disk = self.cache.disk
+        if disk is None:
+            return None  # engine compiles in-process
+        key = self._compiled_topology_key()
+        artifact = disk.read_view(shm.STAGE, key)
+        if artifact is not None:
+            try:
+                return shm.view_over_payload(
+                    artifact.payload, ("file", str(artifact.path)), retain=artifact
+                )
+            except Exception:
+                artifact.close()
+        from repro.simulation.fastpath import compile_topology
+
+        compiled = compile_topology(
+            self.topology(), plan.assignment, sorted(set(plan.observed_ases))
+        )
+        try:
+            disk.write(shm.STAGE, key, shm.pack_topology(compiled))
+        except OSError:
+            pass  # best-effort: a read-only store never blocks the run
+        return compiled
+
     def propagation(self) -> SimulationResult:
         """The propagation run observed at the planned vantage ASes (stage 3).
 
         Executed by the engine selected in :class:`PropagationSettings` —
         the compiled fast engine by default, with optional per-prefix
-        process-pool fan-out (``workers``).
+        process-pool fan-out (``workers``) over the zero-copy shared
+        topology.  With a disk cache attached, the compiled topology itself
+        is a store tier (``compiled-topology``), so concurrent sweep cases
+        attach one mmap'ed artifact instead of each re-compiling.
         """
 
         def build() -> SimulationResult:
@@ -254,6 +304,7 @@ class Study:
                     plan.assignment,
                     observed_ases=plan.observed_ases,
                     workers=settings.workers,
+                    compiled=self._compiled_topology(plan),
                 )
             return engine.run()
 

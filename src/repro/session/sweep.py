@@ -61,7 +61,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.runtime import PLAN_ENV, activate, fault_point, mark_worker, reset
 from repro.session.cache import StageCache, fingerprint
 from repro.session.scenarios import get_family, resolve_scenario
-from repro.session.stages import Stage
+from repro.session.stages import PropagationSettings, Stage
 from repro.session.suite import run_suite
 from repro.storage.store import DiskStore
 
@@ -307,21 +307,25 @@ def _case_slug(spec: str) -> str:
     return f"{clean}-{fingerprint(spec)[:8]}"
 
 
-def _run_sweep_case(task: tuple[str, tuple[str, ...] | None, str]) -> tuple:
+def _run_sweep_case(task: tuple[str, tuple[str, ...] | None, str, int]) -> tuple:
     """Process-pool entry point: run (or load) one sweep case.
 
     Args:
-        task: ``(spec, experiment ids or None, cache directory)``.
+        task: ``(spec, experiment ids or None, cache directory,
+        propagation workers)``.
 
     Returns:
         ``(spec, report JSON, seconds, cache stats, status)`` where status
         is ``"cached"`` when the report came from the disk tier.
     """
-    spec, experiments, cache_dir = task
+    spec, experiments, cache_dir, propagation_workers = task
     fault_point("worker-kill", spec)
     started = time.perf_counter()
     cache = StageCache(disk=DiskStore(cache_dir))
-    study = resolve_scenario(spec).study(cache=cache)
+    study = resolve_scenario(spec).study(
+        cache=cache,
+        propagation=PropagationSettings(workers=propagation_workers),
+    )
     ids = list(experiments) if experiments else None
 
     def build() -> str:
@@ -447,6 +451,7 @@ def run_sweep(
     retry_delay: float = DEFAULT_RETRY_DELAY,
     case_timeout: float | None = None,
     fault_plan: FaultPlan | str | None = None,
+    propagation_workers: int = 1,
 ) -> SweepReport:
     """Run a list of scenario cases over one shared artifact store.
 
@@ -475,6 +480,12 @@ def run_sweep(
         fault_plan: a :class:`~repro.faults.plan.FaultPlan` (or inline
             JSON / file path) activated for the sweep and exported to the
             workers — deterministic chaos for the robustness tests.
+        propagation_workers: per-prefix fan-out width each case's fast
+            engine uses (zero-copy shard pool).  Because every case shares
+            the disk tier, the compiled topology is attached from the
+            ``compiled-topology`` store artifact rather than re-compiled or
+            re-published per case.  Never enters any cache key — the merged
+            artifact is identical for every width.
 
     Returns:
         The :class:`SweepReport`; per-case JSON files live under
@@ -491,6 +502,10 @@ def run_sweep(
         raise ExperimentError(f"sweep retries must be >= 0, got {retries}")
     if case_timeout is not None and case_timeout <= 0:
         raise ExperimentError(f"case timeout must be > 0 seconds, got {case_timeout}")
+    if propagation_workers < 1:
+        raise ExperimentError(
+            f"propagation workers must be >= 1, got {propagation_workers}"
+        )
     for spec in specs:
         resolve_scenario(spec)  # validate every case before starting work
     if fail_after is None:
@@ -513,6 +528,7 @@ def run_sweep(
             retries=retries,
             retry_delay=retry_delay,
             case_timeout=case_timeout,
+            propagation_workers=propagation_workers,
         )
     finally:
         if plan is not None:
@@ -535,6 +551,7 @@ def _run_sweep(
     retries,
     retry_delay,
     case_timeout,
+    propagation_workers=1,
 ) -> SweepReport:
     """The sweep body (fault-plan activation handled by :func:`run_sweep`)."""
     cache_root = pathlib.Path(cache_dir)
@@ -633,7 +650,12 @@ def _run_sweep(
         )
 
     def task_for(spec: str) -> tuple:
-        return (spec, tuple(experiment_ids) if experiment_ids else None, str(cache_root))
+        return (
+            spec,
+            tuple(experiment_ids) if experiment_ids else None,
+            str(cache_root),
+            propagation_workers,
+        )
 
     cases_dir.mkdir(parents=True, exist_ok=True)
     if workers == 1 or len(pending) <= 1:

@@ -8,10 +8,15 @@ schedule identical to the legacy engine's):
 
 * a flat adjacency in CSR slot order (rows sorted by neighbor AS number)
   with a per-row ``nbr_slot`` map for O(1) edge lookup;
-* per-edge import decisions resolved once into ``edge_info``: the base
-  LOCAL_PREF (neighbor override or relationship scheme), the community tag
-  the receiver attaches (``-1`` when it does not tag), the relationship
-  code, and the receiver's per-prefix LOCAL_PREF overrides;
+* per-edge import decisions resolved once into three parallel columns
+  indexed by the receiver-side CSR slot — ``edge_lp`` (base LOCAL_PREF:
+  neighbor override or relationship scheme), ``edge_tag`` (community tag
+  the receiver attaches, ``-1`` when it does not tag) and ``edge_rel``
+  (relationship code) — plus a sparse ``edge_overrides`` map holding the
+  receiver's per-prefix LOCAL_PREF overrides for the few slots that have
+  any.  Flat integer columns (instead of the former list of 4-tuples) are
+  what lets :mod:`repro.simulation.fastpath.shm` expose the same data as
+  zero-copy array views over a shared-memory segment;
 * per-AS export templates for the three route classes of Section 2.2.2
   (locally originated, learned from a customer/sibling, learned from a
   peer/provider), with the transit-level selective-export restriction
@@ -23,8 +28,9 @@ schedule identical to the legacy engine's):
 * an initial community-set intern table (id 0 is the empty set; scoped
   announcements intern their "do not propagate" marker at compile time).
 
-Everything in the compiled object is picklable, so a process-pool fan-out
-ships it to each worker exactly once.
+A process-pool fan-out never pickles the compiled object: the parent lowers
+it into a shared-memory segment (:mod:`repro.simulation.fastpath.shm`) and
+workers attach zero-copy views by segment name.
 """
 
 from __future__ import annotations
@@ -84,10 +90,10 @@ class SeedPlan:
 class CompiledTopology:
     """The flat, integer-indexed form of one (graph, policy assignment) pair.
 
-    All per-AS arrays are indexed by dense id; ``edge_info`` is indexed by
-    CSR slot (``nbr_slot[u][v]``).  ``comm_table`` / ``comm_index`` hold the
-    *initial* community-set intern table; engines copy and extend it per
-    process.
+    All per-AS arrays are indexed by dense id; the ``edge_*`` columns are
+    indexed by CSR slot (``nbr_slot[u][v]``).  ``comm_table`` / ``comm_index``
+    hold the *initial* community-set intern table; engines copy and extend it
+    per process.
     """
 
     asns: tuple[ASN, ...]
@@ -95,11 +101,17 @@ class CompiledTopology:
     #: Per-AS edge lookup: neighbor dense id -> CSR slot (rows sorted by
     #: neighbor ASN; slots enumerate edges in row-major order).
     nbr_slot: list[dict[int, int]]
-    #: Per-edge import decisions, indexed by the *receiver's* CSR slot: one
-    #: tuple per slot with everything an announcement needs — (base
-    #: LOCAL_PREF, tag id into ``tag_communities`` or -1, relationship code,
-    #: the receiver's per-prefix LOCAL_PREF overrides or None).
-    edge_info: list[tuple[int, int, int, dict[Prefix, int] | None]]
+    #: Per-edge import decisions, three parallel columns indexed by the
+    #: *receiver's* CSR slot: base LOCAL_PREF, tag id into
+    #: ``tag_communities`` (-1 when the receiver does not tag), and the
+    #: relationship code of the sender.
+    edge_lp: list[int]
+    edge_tag: list[int]
+    edge_rel: list[int]
+    #: Sparse per-prefix LOCAL_PREF overrides: slot -> {prefix: lp}, present
+    #: only for slots whose receiver has prefix-based overrides (edges of
+    #: one receiver share a single dict).
+    edge_overrides: dict[int, dict[Prefix, int]]
     tag_communities: list[Community]
     # Per-AS export state.
     honor_scoped: list[bool]
@@ -212,7 +224,10 @@ def compile_topology(
     )
 
     nbr_slot: list[dict[int, int]] = []
-    edge_info: list[tuple[int, int, int, dict[Prefix, int] | None]] = []
+    edge_lp: list[int] = []
+    edge_tag: list[int] = []
+    edge_rel: list[int] = []
+    edge_overrides: dict[int, dict[Prefix, int]] = {}
     tag_communities: list[Community] = []
     tag_index: dict[Community, int] = {}
     honor_scoped: list[bool] = []
@@ -238,7 +253,8 @@ def compile_topology(
         for position, (neighbor, relationship) in enumerate(
             sorted(graph.neighbor_items(asn))
         ):
-            row[index_of[neighbor]] = len(edge_info)
+            slot = len(edge_lp)
+            row[index_of[neighbor]] = slot
             code = _REL_CODE[relationship]
             by_rel[code].append(neighbor)
             if neighbor in overrides:
@@ -254,7 +270,11 @@ def compile_topology(
                     tag_id = len(tag_communities)
                     tag_communities.append(tag)
                     tag_index[tag] = tag_id
-            edge_info.append((lp, tag_id, code, overrides_map))
+            edge_lp.append(lp)
+            edge_tag.append(tag_id)
+            edge_rel.append(code)
+            if overrides_map is not None:
+                edge_overrides[slot] = overrides_map
         nbr_slot.append(row)
         neighbor_lists[asn] = by_rel
 
@@ -265,7 +285,10 @@ def compile_topology(
         asns=asns,
         index_of=index_of,
         nbr_slot=nbr_slot,
-        edge_info=edge_info,
+        edge_lp=edge_lp,
+        edge_tag=edge_tag,
+        edge_rel=edge_rel,
+        edge_overrides=edge_overrides,
         tag_communities=tag_communities,
         honor_scoped=honor_scoped,
         scoped_marker=scoped_marker,

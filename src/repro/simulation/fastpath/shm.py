@@ -1,0 +1,639 @@
+"""Zero-copy publication of a compiled topology over shared memory.
+
+The process-pool fan-out used to pickle the whole
+:class:`~repro.simulation.fastpath.compile.CompiledTopology` into every
+worker, which made multi-process runs *slower* than one process.  This
+module removes the copy:
+
+* :func:`lower_topology` flattens the compiled topology into the storage
+  layer's primitive-tree discipline — every bulk structure (CSR adjacency,
+  per-edge import columns, export templates, seed plans, interned tables)
+  becomes a flat ``array('q')`` column, exactly the shape
+  :mod:`repro.storage.packing` encodes as raw machine bytes;
+* :func:`publish` packs the lowered tree into one
+  :mod:`multiprocessing.shared_memory` segment and returns a
+  :class:`SharedTopologyHandle` owning the segment's lifetime
+  (context-manager, ``unlink()`` idempotent, crash-safe in the parent's
+  ``finally``);
+* :func:`attach` opens a published segment *by name* (or an mmap'ed
+  compiled-topology artifact file *by path* — see
+  :func:`repro.storage.store.open_artifact_view`) and wraps it in a
+  :class:`SharedTopologyView`: a read-only duck-type of
+  ``CompiledTopology`` whose bulk columns are :class:`memoryview` casts
+  over the shared buffer (via :func:`repro.storage.packing.unpack_view`),
+  so a worker's attach cost is parsing a few small tables — the megabytes
+  of columns are never copied;
+* :class:`AttachCache` is the sanctioned worker-side memo for attached
+  views: entries derive purely from the task-supplied descriptor, so the
+  per-process-copy hazard ``POOL002`` guards against cannot occur.
+
+The lowering is deterministic (sets are sorted, dicts are iterated in
+their deterministic construction order), so :func:`pack_topology` bytes
+are content-addressable: the session layer stores them in the
+``compiled-topology`` tier of the :class:`~repro.storage.store.DiskStore`
+and later runs — including sweep workers sharing one store — attach the
+cached artifact through the OS page cache instead of re-compiling.
+
+Python 3.9–3.12 registers *attached* segments with the
+``resource_tracker``, which would unlink a segment when the first worker
+exits and spam leak warnings at interpreter shutdown; :func:`attach`
+therefore suppresses the registration while opening the segment (the
+parent handle's create-time registration is the sole one, and its
+``unlink()`` retires it).  Merely *unregistering after* attach would not
+do: forked workers share the parent's tracker process, whose name set
+collapses duplicate registrations — a worker-side unregister would erase
+the parent's entry and the parent's unlink would then trip a tracker
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from multiprocessing import shared_memory
+from typing import Callable, Iterator
+
+from repro.bgp.attributes import Community, CommunitySet
+from repro.exceptions import StorageError
+from repro.net.prefix import Prefix
+from repro.simulation.fastpath.compile import CompiledTopology, SeedPlan, TargetPairs
+from repro.storage.packing import pack, unpack_view
+
+#: Store tier name of cached compiled-topology artifacts.
+STAGE = "compiled-topology"
+
+#: Version of the lowered tree's shape (mirrored in
+#: :data:`repro.storage.versions.CODEC_VERSIONS` for the store tier).
+FORMAT_VERSION = 1
+
+#: Little-endian u64 length prefix of the packed payload inside a segment
+#: (shared-memory sizes are rounded up to page granularity, so the exact
+#: payload length must be recorded).
+_LEN = struct.Struct("<Q")
+
+
+# -- lowering ------------------------------------------------------------------
+
+
+def _pairs_csr(rows: Iterator[TargetPairs] | list[TargetPairs]) -> tuple[array, array]:
+    """Lower rows of ``(target, slot)`` pairs into (indptr, interleaved flat)."""
+    indptr = array("q", [0])
+    flat = array("q")
+    extend = flat.extend
+    for pairs in rows:
+        for pair in pairs:
+            extend(pair)
+        indptr.append(len(flat))
+    return indptr, flat
+
+
+def lower_topology(topology: CompiledTopology) -> tuple:
+    """Flatten a compiled topology into a deterministic primitive tree.
+
+    Every bulk structure becomes a flat integer column; the only
+    non-column data are the sparse per-prefix LOCAL_PREF override groups.
+    Sets are sorted before lowering so equal topologies always lower to
+    equal trees (the packed bytes are content-addressed by the store).
+    """
+    adj_indptr = array("q", [0])
+    adj_nbr = array("q")
+    for row in topology.nbr_slot:
+        # Row dicts are built in slot order (sorted by neighbor ASN) with
+        # contiguous row-major slots, so the slot is recoverable as
+        # ``indptr[u] + position`` and only the neighbor ids are stored.
+        adj_nbr.extend(sorted(row, key=row.__getitem__))
+        adj_indptr.append(len(adj_nbr))
+
+    override_groups: dict[int, tuple[dict[Prefix, int], list[int]]] = {}
+    for slot in sorted(topology.edge_overrides):
+        overrides = topology.edge_overrides[slot]
+        entry = override_groups.get(id(overrides))
+        if entry is None:
+            entry = override_groups[id(overrides)] = (overrides, [])
+        entry[1].append(slot)
+    ov_entries = []
+    for overrides, slots in override_groups.values():
+        triples = array("q")
+        for prefix, lp in overrides.items():
+            triples.extend((prefix.network, prefix.length, lp))
+        ov_entries.append((array("q", slots), triples))
+
+    tag_pairs = array("q")
+    for tag in topology.tag_communities:
+        tag_pairs.extend((tag.asn, tag.value))
+    marker = array("q")
+    for pair in topology.scoped_marker:
+        marker.extend(pair)
+
+    expl_indptr, expl_flat = _pairs_csr(topology.exp_local)
+    expc_indptr, expc_flat = _pairs_csr(topology.exp_customer)
+    expd_indptr, expd_flat = _pairs_csr(topology.exp_down)
+
+    task_origin = array("q")
+    task_net = array("q")
+    task_len = array("q")
+    seed_task_indptr = array("q", [0])
+    seed_group_comm = array("q")
+    seed_group_indptr = array("q", [0])
+    seed_pair_flat = array("q")
+    for origin_idx, prefix in topology.origin_tasks:
+        task_origin.append(origin_idx)
+        task_net.append(prefix.network)
+        task_len.append(prefix.length)
+        plan = topology.seeds[(origin_idx, prefix)]
+        for pairs, comm_id in plan.groups:
+            seed_group_comm.append(comm_id)
+            for pair in pairs:
+                seed_pair_flat.extend(pair)
+            seed_group_indptr.append(len(seed_pair_flat))
+        seed_task_indptr.append(len(seed_group_comm))
+
+    comm_indptr = array("q", [0])
+    comm_flat = array("q")
+    for communities in topology.comm_table:
+        for pair in sorted((c.asn, c.value) for c in communities.communities):
+            comm_flat.extend(pair)
+        comm_indptr.append(len(comm_flat))
+
+    return (
+        FORMAT_VERSION,
+        array("q", topology.asns),
+        adj_indptr,
+        adj_nbr,
+        array("q", topology.edge_lp),
+        array("q", topology.edge_tag),
+        array("q", topology.edge_rel),
+        tuple(ov_entries),
+        tag_pairs,
+        array("b", map(int, topology.honor_scoped)),
+        marker,
+        expl_indptr,
+        expl_flat,
+        expc_indptr,
+        expc_flat,
+        expd_indptr,
+        expd_flat,
+        task_origin,
+        task_net,
+        task_len,
+        seed_task_indptr,
+        seed_group_comm,
+        seed_group_indptr,
+        seed_pair_flat,
+        array("q", topology.observed),
+        comm_indptr,
+        comm_flat,
+    )
+
+
+def pack_topology(topology: CompiledTopology) -> bytes:
+    """The deterministic packed bytes of a lowered compiled topology.
+
+    This is both the shared-memory segment payload and the
+    ``compiled-topology`` store-tier artifact payload.
+    """
+    return pack(lower_topology(topology))
+
+
+# -- lazy view containers ------------------------------------------------------
+
+
+class _LazyPairs:
+    """Per-AS ``(target, slot)`` templates, materialized once per index."""
+
+    __slots__ = ("_indptr", "_flat", "_memo")
+
+    def __init__(self, indptr, flat) -> None:
+        self._indptr = indptr
+        self._flat = flat
+        self._memo: list[TargetPairs | None] = [None] * (len(indptr) - 1)
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __getitem__(self, index: int) -> TargetPairs:
+        pairs = self._memo[index]
+        if pairs is None:
+            flat = self._flat
+            start = self._indptr[index]
+            stop = self._indptr[index + 1]
+            pairs = tuple(
+                (flat[k], flat[k + 1]) for k in range(start, stop, 2)
+            )
+            self._memo[index] = pairs
+        return pairs
+
+
+class _LazySets:
+    """Per-AS target-id sets derived from a :class:`_LazyPairs` template."""
+
+    __slots__ = ("_pairs", "_memo")
+
+    def __init__(self, pairs: _LazyPairs) -> None:
+        self._pairs = pairs
+        self._memo: list[frozenset[int] | None] = [None] * len(pairs)
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __getitem__(self, index: int) -> frozenset[int]:
+        targets = self._memo[index]
+        if targets is None:
+            targets = frozenset(pair[0] for pair in self._pairs[index])
+            self._memo[index] = targets
+        return targets
+
+
+class _LazyNbrSlot:
+    """Per-AS ``neighbor -> slot`` rows rebuilt from the CSR adjacency."""
+
+    __slots__ = ("_indptr", "_nbr", "_memo")
+
+    def __init__(self, indptr, nbr) -> None:
+        self._indptr = indptr
+        self._nbr = nbr
+        self._memo: list[dict[int, int] | None] = [None] * (len(indptr) - 1)
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __getitem__(self, index: int) -> dict[int, int]:
+        row = self._memo[index]
+        if row is None:
+            start = self._indptr[index]
+            stop = self._indptr[index + 1]
+            nbr = self._nbr
+            row = {nbr[k]: k for k in range(start, stop)}
+            self._memo[index] = row
+        return row
+
+
+class _LazySeeds:
+    """``(origin_idx, prefix) -> SeedPlan`` over the flattened seed columns."""
+
+    __slots__ = ("_view", "_task_of", "_memo")
+
+    def __init__(self, view: "SharedTopologyView") -> None:
+        self._view = view
+        self._task_of = {
+            key: index for index, key in enumerate(view.origin_tasks)
+        }
+        self._memo: dict[int, SeedPlan] = {}
+
+    def __len__(self) -> int:
+        return len(self._task_of)
+
+    def __contains__(self, key) -> bool:
+        return key in self._task_of
+
+    def get(self, key, default: SeedPlan | None = None) -> SeedPlan | None:
+        task_index = self._task_of.get(key)
+        if task_index is None:
+            return default
+        return self._view.seed_for(task_index)
+
+    def __getitem__(self, key) -> SeedPlan:
+        return self._view.seed_for(self._task_of[key])
+
+
+class SharedTopologyView:
+    """A read-only :class:`CompiledTopology` duck-type over a shared buffer.
+
+    Bulk columns (`edge_*`, adjacency, export templates, seed plans) stay
+    :class:`memoryview` casts into the published segment or mmap'ed
+    artifact; small object tables (community sets, tag communities, origin
+    prefixes) are materialized once on attach, and per-AS structures are
+    materialized lazily so a worker only pays for the ASes its shard
+    touches.
+
+    Attributes:
+        descriptor: the picklable attach descriptor this view came from —
+            ``("shm", segment_name)`` or ``("file", artifact_path)`` — which
+            is what the parent ships to workers instead of the topology.
+    """
+
+    def __init__(self, tree: tuple, descriptor: tuple, retain=None) -> None:
+        """Wrap one lowered tree; ``retain`` owns the underlying buffer."""
+        if not (isinstance(tree, tuple) and len(tree) == 27 and tree[0] == FORMAT_VERSION):
+            raise StorageError("unrecognized compiled-topology payload")
+        self._retain = retain
+        self.descriptor = descriptor
+        (
+            _,
+            asns,
+            adj_indptr,
+            adj_nbr,
+            self.edge_lp,
+            self.edge_tag,
+            self.edge_rel,
+            ov_entries,
+            tag_pairs,
+            self.honor_scoped,
+            marker,
+            expl_indptr,
+            expl_flat,
+            expc_indptr,
+            expc_flat,
+            expd_indptr,
+            expd_flat,
+            task_origin,
+            task_net,
+            task_len,
+            self._seed_task_indptr,
+            self._seed_group_comm,
+            self._seed_group_indptr,
+            self._seed_pair_flat,
+            observed,
+            comm_indptr,
+            comm_flat,
+        ) = tree
+        self.asns = tuple(asns)
+        self.observed = tuple(observed)
+        self.nbr_slot = _LazyNbrSlot(adj_indptr, adj_nbr)
+        self.edge_overrides: dict[int, dict[Prefix, int]] = {}
+        for slots, triples in ov_entries:
+            shared = {
+                Prefix(triples[k], triples[k + 1]): triples[k + 2]
+                for k in range(0, len(triples), 3)
+            }
+            for slot in slots:
+                self.edge_overrides[slot] = shared
+        self.tag_communities = [
+            Community(tag_pairs[k], tag_pairs[k + 1])
+            for k in range(0, len(tag_pairs), 2)
+        ]
+        self.scoped_marker = [
+            (marker[k], marker[k + 1]) for k in range(0, len(marker), 2)
+        ]
+        self.exp_local = _LazyPairs(expl_indptr, expl_flat)
+        self.exp_local_set = _LazySets(self.exp_local)
+        self.exp_customer = _LazyPairs(expc_indptr, expc_flat)
+        self.exp_down = _LazyPairs(expd_indptr, expd_flat)
+        self.origin_tasks = [
+            (task_origin[i], Prefix(task_net[i], task_len[i]))
+            for i in range(len(task_origin))
+        ]
+        self.comm_table = [
+            CommunitySet(
+                Community(comm_flat[k], comm_flat[k + 1])
+                for k in range(comm_indptr[i], comm_indptr[i + 1], 2)
+            )
+            for i in range(len(comm_indptr) - 1)
+        ]
+        self._seed_memo: dict[int, SeedPlan] = {}
+        self._index_of: dict[int, int] | None = None
+        self._seeds: _LazySeeds | None = None
+
+    # -- CompiledTopology surface -------------------------------------------
+
+    @property
+    def as_count(self) -> int:
+        """Number of ASes in the compiled graph."""
+        return len(self.asns)
+
+    @property
+    def index_of(self) -> dict[int, int]:
+        """``ASN -> dense id``, materialized on first use."""
+        mapping = self._index_of
+        if mapping is None:
+            mapping = self._index_of = {
+                asn: i for i, asn in enumerate(self.asns)
+            }
+        return mapping
+
+    @property
+    def seeds(self) -> _LazySeeds:
+        """The ``(origin_idx, prefix) -> SeedPlan`` mapping, built lazily."""
+        seeds = self._seeds
+        if seeds is None:
+            seeds = self._seeds = _LazySeeds(self)
+        return seeds
+
+    def seed_for(self, task_index: int) -> SeedPlan:
+        """The seed plan of one origin task, materialized on first use."""
+        plan = self._seed_memo.get(task_index)
+        if plan is None:
+            group_comm = self._seed_group_comm
+            group_indptr = self._seed_group_indptr
+            flat = self._seed_pair_flat
+            groups = []
+            for g in range(
+                self._seed_task_indptr[task_index],
+                self._seed_task_indptr[task_index + 1],
+            ):
+                pairs = tuple(
+                    (flat[k], flat[k + 1])
+                    for k in range(group_indptr[g], group_indptr[g + 1], 2)
+                )
+                groups.append((pairs, group_comm[g]))
+            announced = frozenset(
+                pair[0] for pairs, _ in groups for pair in pairs
+            )
+            plan = SeedPlan(groups=tuple(groups), announced=announced)
+            self._seed_memo[task_index] = plan
+        return plan
+
+    def pairs_from(self, sender_idx: int, targets: list[int]) -> TargetPairs:
+        """Mirror of :meth:`CompiledTopology.pairs_from` over the CSR view."""
+        from repro.exceptions import SimulationError
+
+        pairs = []
+        for target in targets:
+            slot = self.nbr_slot[target].get(sender_idx)
+            if slot is None:
+                raise SimulationError(
+                    f"AS{self.asns[sender_idx]} announced a route to "
+                    f"non-neighbor AS{self.asns[target]}"
+                )
+            pairs.append((target, slot))
+        return tuple(pairs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the view's buffer references and close the retained source.
+
+        Best-effort: if column views were handed out and still pin the
+        buffer, the close is skipped (the parent's ``unlink`` still removes
+        a shared segment once every process detaches).
+        """
+        retain = self._retain
+        self.__dict__.clear()
+        self._retain = None
+        self.descriptor = None
+        if retain is not None:
+            try:
+                retain.close()
+            except BufferError:
+                pass
+
+    def __enter__(self) -> "SharedTopologyView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- publish / attach ----------------------------------------------------------
+
+
+class SharedTopologyHandle:
+    """Parent-side ownership of one published shared-memory segment.
+
+    The handle (not the attached workers) owns the segment's lifetime:
+    ``unlink()`` — idempotent, also called on context-manager exit — removes
+    the name so the memory is freed once the last attached process exits.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        """Wrap a created segment (already filled with the packed payload)."""
+        self._segment: shared_memory.SharedMemory | None = segment
+        self.name = segment.name
+
+    @property
+    def descriptor(self) -> tuple[str, str]:
+        """The picklable attach descriptor to ship to workers."""
+        return ("shm", self.name)
+
+    def unlink(self) -> None:
+        """Close and remove the segment; safe to call more than once."""
+        segment = self._segment
+        self._segment = None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedTopologyHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+def publish(topology: CompiledTopology) -> SharedTopologyHandle:
+    """Lower, pack and copy a compiled topology into one shared segment.
+
+    Returns:
+        The owning handle; workers attach via ``handle.descriptor`` and the
+        caller must ``unlink()`` (or use the handle as a context manager)
+        when the run is over — the engine does this in a ``finally`` so an
+        engine exception or a killed worker never leaks the segment.
+    """
+    payload = pack_topology(topology)
+    segment = shared_memory.SharedMemory(create=True, size=_LEN.size + len(payload))
+    _LEN.pack_into(segment.buf, 0, len(payload))
+    segment.buf[_LEN.size : _LEN.size + len(payload)] = payload
+    return SharedTopologyHandle(segment)
+
+
+def _open_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment by name without registering it with the tracker.
+
+    The tracker assumes whoever opens a segment owns it and unlinks leaked
+    names at process exit; for attach-by-name workers that would destroy
+    the parent's segment early and print spurious leak warnings.  The
+    registration is suppressed for the duration of the attach, leaving the
+    parent's create-time registration as the sole entry (see the module
+    docstring for why unregister-after-attach is not equivalent).
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register(target, rtype):
+            if rtype != "shared_memory":
+                original(target, rtype)
+
+        resource_tracker.register = register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach(descriptor: tuple) -> SharedTopologyView:
+    """Open a published compiled topology without copying its columns.
+
+    Args:
+        descriptor: ``("shm", segment_name)`` for a segment published by
+            :func:`publish`, or ``("file", path)`` for a
+            ``compiled-topology`` artifact written by the session layer
+            (mmap'ed read-only via
+            :func:`repro.storage.store.open_artifact_view`).
+
+    Returns:
+        The attached view (a context manager; closing detaches).
+
+    Raises:
+        StorageError: on an unknown descriptor or an invalid payload.
+        FileNotFoundError: when the segment/file no longer exists.
+    """
+    kind = descriptor[0]
+    if kind == "shm":
+        segment = _open_untracked(descriptor[1])
+        size = _LEN.unpack_from(segment.buf, 0)[0]
+        payload = memoryview(segment.buf)[_LEN.size : _LEN.size + size]
+        try:
+            return SharedTopologyView(
+                unpack_view(payload), descriptor, retain=segment
+            )
+        except Exception:
+            payload.release()
+            segment.close()
+            raise
+    if kind == "file":
+        from repro.storage.store import open_artifact_view
+
+        artifact = open_artifact_view(descriptor[1], STAGE)
+        try:
+            return SharedTopologyView(
+                unpack_view(artifact.payload), descriptor, retain=artifact
+            )
+        except Exception:
+            artifact.close()
+            raise
+    raise StorageError(f"unknown attach descriptor: {descriptor!r}")
+
+
+def view_over_payload(
+    payload, descriptor: tuple = ("inline", ""), retain=None
+) -> SharedTopologyView:
+    """A view over an already-open payload buffer (e.g. a store mmap)."""
+    return SharedTopologyView(unpack_view(payload), descriptor, retain=retain)
+
+
+class AttachCache:
+    """A worker-side memo whose entries derive purely from task arguments.
+
+    This is the sanctioned replacement for initializer-owned worker
+    globals (the pattern ``POOL002`` flags): because every entry is built
+    by a pure function of its key — here, the attach descriptor shipped
+    with each task — a fresh process, a respawned worker and a warm worker
+    all compute identical values, so the per-process-copy hazard the lint
+    rule guards against cannot occur.  ``repro lint`` recognizes
+    module-level ``AttachCache`` instances and exempts them.
+    """
+
+    __slots__ = ("_build", "_entries")
+
+    def __init__(self, build: Callable[[tuple], object]) -> None:
+        """Remember the pure builder applied to unseen keys."""
+        self._build = build
+        self._entries: dict[tuple, object] = {}
+
+    def get(self, key: tuple) -> object:
+        """The memoized entry of ``key``, building it on first use."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = self._build(key)
+        return entry

@@ -101,6 +101,33 @@ class TestGaoInference:
         with pytest.raises(InferenceError):
             GaoInference(sibling_threshold=0)
 
+    def test_weighted_inference_matches_expanded_paths(self):
+        # Feeding each distinct path once with its multiplicity must be
+        # indistinguishable from feeding the expanded (duplicated) list.
+        from collections import Counter
+
+        paths = hierarchy_paths()
+        counts = Counter(path.asns for path in paths)
+        expanded = GaoInference(peer_degree_ratio=1.5).infer(paths)
+        weighted = GaoInference(peer_degree_ratio=1.5).infer_weighted(
+            counts.items()
+        )
+        assert weighted.degrees == expanded.degrees
+        assert weighted.transit_votes == expanded.transit_votes
+        assert weighted.ambiguous_votes == expanded.ambiguous_votes
+        for left, right in expanded.transit_votes:
+            assert weighted.graph.relationship(left, right) is (
+                expanded.graph.relationship(left, right)
+            )
+        assert weighted.graph.relationship(1, 2) is Relationship.PEER
+
+    def test_weighted_inference_ignores_nonpositive_weights(self):
+        result = GaoInference().infer_weighted(
+            [([10, 100], 3), ([10, 200], 1), ([1, 10, 100], 0)]
+        )
+        assert result.graph.relationship(10, 100) is not None
+        assert 1 not in result.degrees
+
     def test_degree_gap_forces_transit_even_without_confident_votes(self):
         # AS1 is huge (many neighbors), AS50 tiny; their edge is only ever
         # top-adjacent, so the degree ratio decides: provider-to-customer.

@@ -20,8 +20,9 @@ from repro.session.scenarios import get_scenario, scenario_names
 from repro.simulation.fastpath import FastPropagationEngine
 from repro.simulation.propagation import PropagationEngine, SimulationResult
 
-#: workers=1 exercises the in-process core, workers=4 the process pool.
-WORKER_COUNTS = (1, 4)
+#: workers=1 exercises the in-process core; workers=2 and 4 the zero-copy
+#: process pool (different shard cuts, same deterministic task-order merge).
+WORKER_COUNTS = (1, 2, 4)
 
 _CACHE: dict[str, tuple] = {}
 

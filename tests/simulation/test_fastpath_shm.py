@@ -1,0 +1,284 @@
+"""Shared-memory lifecycle and zero-copy attach tests of the fastpath.
+
+Covers the contract of :mod:`repro.simulation.fastpath.shm`:
+
+* publish/attach round-trip — the :class:`SharedTopologyView` exposes the
+  same surface as the :class:`CompiledTopology` it was lowered from;
+* lifecycle — segments are unlinked on normal engine exit, on engine
+  failure (injected worker kills via the faults harness) and via the
+  idempotent handle, and no ``resource_tracker`` noise is emitted;
+* the store-backed ``("file", path)`` attach path used by the session
+  layer produces results identical to the in-memory compiled topology.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.runtime import activate, reset
+from repro.fuzz.oracles import check_propagation_equivalence
+from repro.session.cache import StageCache
+from repro.session.scenarios import get_scenario
+from repro.simulation.fastpath import (
+    FastPropagationEngine,
+    SharedTopologyView,
+    attach,
+    compile_topology,
+    publish,
+)
+from repro.simulation.fastpath.shm import (
+    STAGE,
+    AttachCache,
+    pack_topology,
+    view_over_payload,
+)
+from repro.storage.store import DiskStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_CACHE: dict[str, tuple] = {}
+
+
+def _small_scenario():
+    """(internet, plan, compiled, serial result) for 'small', built once."""
+    cached = _CACHE.get("small")
+    if cached is None:
+        study = get_scenario("small").study(cache=StageCache())
+        internet = study.topology()
+        plan = study.policies()
+        engine = FastPropagationEngine(
+            internet, plan.assignment, observed_ases=plan.observed_ases
+        )
+        cached = _CACHE["small"] = (internet, plan, engine.compiled, engine.run())
+    return cached
+
+
+def _shm_names() -> set[str]:
+    """Current shared-memory segment names (Linux: /dev/shm entries)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+class TestPublishAttachRoundTrip:
+    def test_view_mirrors_compiled_topology(self):
+        _internet, _plan, compiled, _result = _small_scenario()
+        handle = publish(compiled)
+        try:
+            view = attach(handle.descriptor)
+            assert isinstance(view, SharedTopologyView)
+            assert view.descriptor == handle.descriptor
+            assert view.asns == tuple(compiled.asns)
+            assert view.observed == tuple(compiled.observed)
+            assert view.as_count == compiled.as_count
+            assert view.index_of == compiled.index_of
+            assert list(view.edge_lp) == list(compiled.edge_lp)
+            assert list(view.edge_tag) == list(compiled.edge_tag)
+            assert list(view.edge_rel) == list(compiled.edge_rel)
+            assert view.edge_overrides == compiled.edge_overrides
+            assert view.tag_communities == compiled.tag_communities
+            assert list(view.scoped_marker) == list(compiled.scoped_marker)
+            assert list(view.honor_scoped) == [
+                int(flag) for flag in compiled.honor_scoped
+            ]
+            assert view.comm_table == compiled.comm_table
+            assert view.origin_tasks == compiled.origin_tasks
+            for idx in range(compiled.as_count):
+                assert view.nbr_slot[idx] == compiled.nbr_slot[idx]
+                assert view.exp_local[idx] == compiled.exp_local[idx]
+                assert view.exp_local_set[idx] == compiled.exp_local_set[idx]
+                assert view.exp_customer[idx] == compiled.exp_customer[idx]
+                assert view.exp_down[idx] == compiled.exp_down[idx]
+            for key, plan_entry in compiled.seeds.items():
+                assert view.seeds[key] == plan_entry
+            view.close()
+        finally:
+            handle.unlink()
+
+    def test_columns_are_zero_copy_views(self):
+        _internet, _plan, compiled, _result = _small_scenario()
+        handle = publish(compiled)
+        try:
+            view = attach(handle.descriptor)
+            # Bulk columns are memoryview casts over the segment, not copies.
+            assert isinstance(view.edge_lp, memoryview)
+            assert view.edge_lp.format == "q"
+            view.close()
+        finally:
+            handle.unlink()
+
+    def test_shared_override_groups_stay_shared(self):
+        # Edges sharing one override dict in the compiled topology must
+        # share one dict in the view too (memory parity, not just equality).
+        _internet, _plan, compiled, _result = _small_scenario()
+        groups = {}
+        for slot, overrides in compiled.edge_overrides.items():
+            groups.setdefault(id(overrides), []).append(slot)
+        shared = [slots for slots in groups.values() if len(slots) > 1]
+        if not shared:
+            pytest.skip("scenario has no shared override groups")
+        handle = publish(compiled)
+        try:
+            view = attach(handle.descriptor)
+            for slots in shared:
+                first = view.edge_overrides[slots[0]]
+                assert all(view.edge_overrides[s] is first for s in slots[1:])
+            view.close()
+        finally:
+            handle.unlink()
+
+    def test_attach_unknown_descriptor(self):
+        with pytest.raises(StorageError):
+            attach(("carrier-pigeon", "x"))
+
+
+class TestLifecycle:
+    def test_unlink_is_idempotent_and_detaches(self):
+        _internet, _plan, compiled, _result = _small_scenario()
+        handle = publish(compiled)
+        assert handle.name
+        handle.unlink()
+        handle.unlink()  # second call is a no-op
+        with pytest.raises(FileNotFoundError):
+            attach(handle.descriptor)
+
+    def test_normal_parallel_run_leaves_no_segment(self):
+        internet, plan, compiled, serial = _small_scenario()
+        before = _shm_names()
+        result = FastPropagationEngine(
+            internet,
+            plan.assignment,
+            observed_ases=plan.observed_ases,
+            workers=2,
+            compiled=compiled,
+        ).run()
+        check_propagation_equivalence(serial, result)
+        assert _shm_names() - before == set()
+
+    def test_injected_worker_kill_still_unlinks(self, tmp_path):
+        # Every shard attempt dies at the propagation-shard fault point, so
+        # the pool breaks -- the engine's finally must still unlink.
+        internet, plan, compiled, _serial = _small_scenario()
+        plan_obj = FaultPlan(
+            seed=0,
+            state_dir=str(tmp_path / "fault-state"),
+            rules=(
+                FaultRule(
+                    "worker-kill", rate=1.0, times=None, match="propagation-shard:*"
+                ),
+            ),
+        )
+        before = _shm_names()
+        activate(plan_obj)
+        try:
+            with pytest.raises(Exception):
+                FastPropagationEngine(
+                    internet,
+                    plan.assignment,
+                    observed_ases=plan.observed_ases,
+                    workers=2,
+                    compiled=compiled,
+                ).run()
+        finally:
+            os.environ.pop("REPRO_FAULT_PLAN", None)
+            reset()
+        assert _shm_names() - before == set()
+
+    def test_no_resource_tracker_noise(self):
+        # A full parallel run in a fresh interpreter must exit silently:
+        # no leak warnings, no tracker KeyError tracebacks.
+        script = (
+            "from repro.session.cache import StageCache\n"
+            "from repro.session.scenarios import get_scenario\n"
+            "from repro.simulation.fastpath import FastPropagationEngine\n"
+            "study = get_scenario('small').study(cache=StageCache())\n"
+            "plan = study.policies()\n"
+            "result = FastPropagationEngine(study.topology(), plan.assignment,\n"
+            "    observed_ases=plan.observed_ases, workers=2).run()\n"
+            "print(result.message_count)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "resource_tracker" not in completed.stderr, completed.stderr
+        assert "Traceback" not in completed.stderr, completed.stderr
+        assert "leaked" not in completed.stderr, completed.stderr
+
+
+class TestStoreBackedAttach:
+    def test_file_descriptor_round_trip(self, tmp_path):
+        _internet, _plan, compiled, _result = _small_scenario()
+        store = DiskStore(tmp_path / "cache")
+        path = store.write(STAGE, "k" * 64, pack_topology(compiled))
+        assert path is not None
+        view = attach(("file", str(path)))
+        try:
+            assert view.asns == tuple(compiled.asns)
+            assert list(view.edge_lp) == list(compiled.edge_lp)
+        finally:
+            view.close()
+
+    def test_engine_over_store_view_matches_serial(self, tmp_path):
+        internet, plan, compiled, serial = _small_scenario()
+        store = DiskStore(tmp_path / "cache")
+        path = store.write(STAGE, "k" * 64, pack_topology(compiled))
+        for workers in (1, 2):
+            artifact = store.read_view(STAGE, "k" * 64)
+            assert artifact is not None
+            view = view_over_payload(
+                artifact.payload, ("file", str(artifact.path)), retain=artifact
+            )
+            engine = FastPropagationEngine(
+                internet,
+                plan.assignment,
+                observed_ases=plan.observed_ases,
+                workers=workers,
+                compiled=view,
+            )
+            result = engine.run()
+            check_propagation_equivalence(serial, result)
+            # Store-backed runs never publish a segment: workers re-attach
+            # the artifact file by path.
+            assert engine.last_run_phases["publish"] == 0.0
+            view.close()
+
+    def test_study_disk_tier_caches_compiled_topology(self, tmp_path):
+        # Two studies over one disk store: the first writes the
+        # compiled-topology artifact, the second serves propagation from
+        # the store-attached view -- identical results either way.
+        from repro.session.cache import fingerprint
+        from repro.session.stages import Stage
+
+        _internet, _plan, _compiled, serial = _small_scenario()
+        first = get_scenario("small").study(
+            cache=StageCache(disk=DiskStore(tmp_path / "cache"))
+        )
+        check_propagation_equivalence(serial, first.propagation())
+        key = fingerprint(STAGE, first.stage_key(Stage.POLICIES))
+        assert first.cache.disk.read(STAGE, key) is not None
+        second = get_scenario("small").study(
+            cache=StageCache(disk=DiskStore(tmp_path / "cache"))
+        )
+        check_propagation_equivalence(serial, second.propagation())
+
+
+class TestAttachCache:
+    def test_memoizes_by_key(self):
+        calls = []
+        cache = AttachCache(lambda key: calls.append(key) or object())
+        first = cache.get(("a", 1))
+        assert cache.get(("a", 1)) is first
+        assert cache.get(("b", 2)) is not first
+        assert calls == [("a", 1), ("b", 2)]
